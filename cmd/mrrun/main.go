@@ -1,0 +1,162 @@
+// Command mrrun executes real MapReduce jobs on local files with the
+// RDD engine: wordcount, grep, and distinct-count.
+//
+// Usage:
+//
+//	mrrun [-top N] wordcount <file>
+//	mrrun grep <pattern> <file>
+//	mrrun distinct <file>
+//
+// Flags -executors, -cores, and -policy select the runtime shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+
+	"hpcmr/engine"
+	"hpcmr/rdd"
+)
+
+var (
+	executors = flag.Int("executors", 4, "number of executors")
+	cores     = flag.Int("cores", 2, "cores per executor")
+	policy    = flag.String("policy", "fifo", "scheduling policy: fifo | locality | delay | elb | cad")
+	top       = flag.Int("top", 20, "wordcount: show the N most frequent words")
+	parts     = flag.Int("parts", 0, "input partitions (0 = one per executor)")
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: mrrun [flags] wordcount|grep|distinct ...\n")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func newContext() *rdd.Context {
+	var kind engine.PolicyKind
+	switch *policy {
+	case "fifo":
+		kind = engine.FIFO
+	case "locality":
+		kind = engine.Locality
+	case "delay":
+		kind = engine.DelayScheduling
+	case "elb":
+		kind = engine.ELB
+	case "cad":
+		kind = engine.CADThrottled
+	default:
+		fatal("unknown policy %q", *policy)
+	}
+	ctx, err := rdd.NewContext(engine.Config{
+		Executors:        *executors,
+		CoresPerExecutor: *cores,
+		Policy:           kind,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	return ctx
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	switch args[0] {
+	case "wordcount":
+		if len(args) != 2 {
+			usage()
+		}
+		wordcount(args[1])
+	case "grep":
+		if len(args) != 3 {
+			usage()
+		}
+		grep(args[1], args[2])
+	case "distinct":
+		if len(args) != 2 {
+			usage()
+		}
+		distinct(args[1])
+	default:
+		usage()
+	}
+}
+
+func wordcount(path string) {
+	ctx := newContext()
+	defer ctx.Stop()
+	lines, err := rdd.TextFile(ctx, path, *parts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	words := rdd.FlatMap(lines, strings.Fields)
+	pairs := rdd.Map(words, func(w string) rdd.Pair[string, int] {
+		return rdd.Pair[string, int]{Key: strings.ToLower(strings.Trim(w, ".,;:!?\"'()")), Value: 1}
+	})
+	counts, err := rdd.ReduceByKey(pairs, func(a, b int) int { return a + b }, *executors).Collect()
+	if err != nil {
+		fatal("%v", err)
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].Value != counts[j].Value {
+			return counts[i].Value > counts[j].Value
+		}
+		return counts[i].Key < counts[j].Key
+	})
+	for i, p := range counts {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%8d  %s\n", p.Value, p.Key)
+	}
+	fmt.Printf("# %d distinct words; engine: %s\n", len(counts), ctx.Runtime().Metrics())
+}
+
+func grep(pattern, path string) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fatal("bad pattern: %v", err)
+	}
+	ctx := newContext()
+	defer ctx.Stop()
+	lines, err := rdd.TextFile(ctx, path, *parts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	matches, err := lines.Filter(re.MatchString).Collect()
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, l := range matches {
+		fmt.Println(l)
+	}
+	fmt.Fprintf(os.Stderr, "# %d matching lines\n", len(matches))
+}
+
+func distinct(path string) {
+	ctx := newContext()
+	defer ctx.Stop()
+	lines, err := rdd.TextFile(ctx, path, *parts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	n, err := rdd.Distinct(lines).Count()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%d distinct lines\n", n)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mrrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Package engine is the execution runtime of the real (non-simulated)
+// memory-resident MapReduce library: a local multi-executor pool that
+// runs stages of tasks under a pluggable scheduling policy, with task
+// retry, an in-memory shuffle store, and per-stage metrics.
+//
+// The runtime mirrors Spark's executor model at process scale: N
+// executors with C cores each, a centralized scheduler offering free
+// slots to a placement policy (FIFO, locality-preferring, delay
+// scheduling, ELB, or CAD-throttled), and a shuffle service connecting
+// map-side output to reduce-side fetch. The rdd package compiles RDD
+// lineage into stages and runs them here.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"hpcmr/internal/sched"
+)
+
+// PolicyKind selects the task-placement policy.
+type PolicyKind int
+
+// Available scheduling policies.
+const (
+	// FIFO launches tasks in order on any free slot (the paper's
+	// recommendation for compute-centric systems).
+	FIFO PolicyKind = iota
+	// Locality prefers slot-local tasks but never waits.
+	Locality
+	// DelayScheduling waits up to LocalityWait for a local slot
+	// (Spark's default, shown harmful on HPC).
+	DelayScheduling
+	// ELB is the paper's Enhanced Load Balancer.
+	ELB
+	// CADThrottled paces dispatch with Congestion-Aware Dispatching
+	// over a FIFO base.
+	CADThrottled
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case Locality:
+		return "locality"
+	case DelayScheduling:
+		return "delay"
+	case ELB:
+		return "elb"
+	case CADThrottled:
+		return "cad"
+	default:
+		return "fifo"
+	}
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Executors is the number of simulated worker processes; 0 uses
+	// GOMAXPROCS.
+	Executors int
+	// CoresPerExecutor is the task slots per executor; 0 means 1.
+	CoresPerExecutor int
+	// Policy selects task placement.
+	Policy PolicyKind
+	// LocalityWaitSeconds is the delay-scheduling wait (default 3 s,
+	// Spark's spark.locality.wait).
+	LocalityWaitSeconds float64
+	// ELBThreshold is the load-balancer pause threshold (default 0.25).
+	ELBThreshold float64
+	// MaxTaskFailures is how many attempts a task gets before the stage
+	// fails (default 4, as in Spark).
+	MaxTaskFailures int
+	// Speculation enables speculative re-execution of stragglers (the
+	// LATE/Mantri family the paper's related work discusses): once
+	// SpeculationQuantile of a stage's tasks have completed, a task
+	// running longer than SpeculationMultiplier times the median
+	// completed duration gets a second copy on another slot; the first
+	// finisher wins.
+	Speculation bool
+	// SpeculationQuantile is the completed fraction required before
+	// speculation starts (default 0.75).
+	SpeculationQuantile float64
+	// SpeculationMultiplier is the straggler threshold over the median
+	// completed task duration (default 1.5).
+	SpeculationMultiplier float64
+	// SpeculationIntervalSeconds is the straggler-check period
+	// (default 0.05 s).
+	SpeculationIntervalSeconds float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = runtime.GOMAXPROCS(0)
+	}
+	if c.CoresPerExecutor <= 0 {
+		c.CoresPerExecutor = 1
+	}
+	if c.LocalityWaitSeconds <= 0 {
+		c.LocalityWaitSeconds = 3
+	}
+	if c.ELBThreshold <= 0 {
+		c.ELBThreshold = 0.25
+	}
+	if c.MaxTaskFailures <= 0 {
+		c.MaxTaskFailures = 4
+	}
+	if c.SpeculationQuantile <= 0 || c.SpeculationQuantile > 1 {
+		c.SpeculationQuantile = 0.75
+	}
+	if c.SpeculationMultiplier <= 1 {
+		c.SpeculationMultiplier = 1.5
+	}
+	if c.SpeculationIntervalSeconds <= 0 {
+		c.SpeculationIntervalSeconds = 0.05
+	}
+	return c
+}
+
+// newPolicy instantiates the configured policy for one stage.
+func (c Config) newPolicy() sched.Policy {
+	switch c.Policy {
+	case Locality:
+		return sched.NewLocalityPreferring()
+	case DelayScheduling:
+		return sched.NewDelay(c.LocalityWaitSeconds)
+	case ELB:
+		return sched.NewELB(c.Executors, c.ELBThreshold)
+	case CADThrottled:
+		return sched.NewCAD(sched.NewFIFO())
+	default:
+		return sched.NewFIFO()
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Executors < 0 || c.CoresPerExecutor < 0 {
+		return fmt.Errorf("engine: negative executor configuration")
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package engine
+
+import "sync"
+
+// Listener receives runtime lifecycle events — the hook point for
+// progress UIs, structured logging, or custom metrics. Callbacks run
+// synchronously on runtime goroutines and must return quickly; they
+// must not call back into the runtime.
+type Listener interface {
+	// OnStageStart fires when a stage begins executing.
+	OnStageStart(name string, tasks int)
+	// OnStageEnd fires when a stage finishes (successfully or not).
+	OnStageEnd(m StageMetrics)
+	// OnTaskEnd fires after every task attempt.
+	OnTaskEnd(e TaskEvent)
+}
+
+// TaskEvent describes one finished task attempt.
+type TaskEvent struct {
+	Stage        string
+	TaskID       int
+	Attempt      int
+	Executor     int
+	Duration     float64
+	ShuffleBytes float64
+	Failed       bool
+}
+
+// listeners is a concurrency-safe fan-out.
+type listeners struct {
+	mu   sync.RWMutex
+	subs []Listener
+}
+
+func (l *listeners) add(s Listener) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, s)
+}
+
+func (l *listeners) stageStart(name string, tasks int) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, s := range l.subs {
+		s.OnStageStart(name, tasks)
+	}
+}
+
+func (l *listeners) stageEnd(m StageMetrics) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, s := range l.subs {
+		s.OnStageEnd(m)
+	}
+}
+
+func (l *listeners) taskEnd(e TaskEvent) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, s := range l.subs {
+		s.OnTaskEnd(e)
+	}
+}
+
+// AddListener subscribes a listener to runtime events.
+func (rt *Runtime) AddListener(l Listener) {
+	rt.listeners.add(l)
+}
+
+// FuncListener adapts plain functions into a Listener; nil fields are
+// skipped.
+type FuncListener struct {
+	StageStart func(name string, tasks int)
+	StageEnd   func(m StageMetrics)
+	TaskEnd    func(e TaskEvent)
+}
+
+// OnStageStart implements Listener.
+func (f FuncListener) OnStageStart(name string, tasks int) {
+	if f.StageStart != nil {
+		f.StageStart(name, tasks)
+	}
+}
+
+// OnStageEnd implements Listener.
+func (f FuncListener) OnStageEnd(m StageMetrics) {
+	if f.StageEnd != nil {
+		f.StageEnd(m)
+	}
+}
+
+// OnTaskEnd implements Listener.
+func (f FuncListener) OnTaskEnd(e TaskEvent) {
+	if f.TaskEnd != nil {
+		f.TaskEnd(e)
+	}
+}

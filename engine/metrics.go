@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StageMetrics summarizes one executed stage.
+type StageMetrics struct {
+	Name     string
+	Tasks    int
+	Duration time.Duration
+	Success  bool
+}
+
+// Metrics accumulates runtime execution statistics.
+type Metrics struct {
+	mu sync.Mutex
+
+	stages        []StageMetrics
+	tasksRun      int64
+	taskFailures  int64
+	localLaunches int64
+	totalTaskSecs float64
+	shuffleBytes  float64
+	speculations  int64
+}
+
+func (m *Metrics) recordSpeculations(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.speculations += int64(n)
+}
+
+// Speculations returns how many speculative task copies were launched.
+func (m *Metrics) Speculations() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.speculations
+}
+
+func (m *Metrics) recordStage(name string, tasks int, d time.Duration, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stages = append(m.stages, StageMetrics{Name: name, Tasks: tasks, Duration: d, Success: ok})
+}
+
+func (m *Metrics) recordTask(durSecs, shuffleBytes float64, local, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tasksRun++
+	m.totalTaskSecs += durSecs
+	m.shuffleBytes += shuffleBytes
+	if local {
+		m.localLaunches++
+	}
+	if failed {
+		m.taskFailures++
+	}
+}
+
+// Stages returns a copy of the per-stage records.
+func (m *Metrics) Stages() []StageMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]StageMetrics(nil), m.stages...)
+}
+
+// TasksRun returns the number of task attempts executed.
+func (m *Metrics) TasksRun() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tasksRun
+}
+
+// TaskFailures returns the number of failed task attempts.
+func (m *Metrics) TaskFailures() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.taskFailures
+}
+
+// LocalLaunches returns the number of locality-satisfying launches.
+func (m *Metrics) LocalLaunches() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.localLaunches
+}
+
+// ShuffleBytes returns the total intermediate bytes reported by tasks.
+func (m *Metrics) ShuffleBytes() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shuffleBytes
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("stages=%d tasks=%d failures=%d local=%d shuffleMB=%.1f",
+		len(m.stages), m.tasksRun, m.taskFailures, m.localLaunches, m.shuffleBytes/1e6)
+}

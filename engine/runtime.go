@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hpcmr/internal/sched"
+)
+
+// TaskContext is passed to every running task.
+type TaskContext struct {
+	StageID  int
+	TaskID   int
+	Attempt  int
+	Executor int
+
+	shuffleBytes float64
+}
+
+// AddShuffleBytes records intermediate data the task produced; the
+// scheduler's load balancer (ELB) feeds on this.
+func (tc *TaskContext) AddShuffleBytes(n float64) { tc.shuffleBytes += n }
+
+// TaskSpec is one schedulable task of a stage.
+type TaskSpec struct {
+	// Preferred lists executor IDs holding the task's input, if any.
+	Preferred []int
+	// Run executes the task body; returning an error (or panicking)
+	// triggers a retry up to MaxTaskFailures attempts.
+	Run func(tc *TaskContext) error
+}
+
+// Runtime is the local multi-executor execution engine.
+type Runtime struct {
+	cfg       Config
+	shuffle   *ShuffleStore
+	metrics   *Metrics
+	listeners listeners
+
+	mu      sync.Mutex
+	stageID int
+	closed  bool
+}
+
+// New builds a runtime from cfg.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		cfg:     cfg.withDefaults(),
+		shuffle: NewShuffleStore(),
+		metrics: &Metrics{},
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Shuffle returns the runtime's shuffle store.
+func (rt *Runtime) Shuffle() *ShuffleStore { return rt.shuffle }
+
+// Metrics returns accumulated execution metrics.
+func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
+
+// Close marks the runtime closed; subsequent RunStage calls fail.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.closed = true
+}
+
+// stageState tracks one stage execution under the dispatcher lock.
+type stageState struct {
+	rt       *Runtime
+	stageID  int
+	name     string
+	policy   sched.Policy
+	tasks    []TaskSpec
+	attempts []int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	idle      []int // free cores per executor
+	retries   []int // failed or speculated tasks awaiting a launch
+	remaining int
+	failed    error
+	start     time.Time
+
+	// speculation state
+	done          []bool
+	running       map[int]time.Time // task -> earliest live launch
+	speculated    map[int]bool
+	completedDurs []float64
+	speculations  int
+}
+
+// now returns seconds since stage start (the policy clock).
+func (st *stageState) now() float64 { return time.Since(st.start).Seconds() }
+
+// RunStage executes tasks to completion and returns the first fatal
+// error. Tasks that error or panic are retried (on any executor) until
+// MaxTaskFailures attempts are spent; exhausting attempts fails the
+// stage after in-flight tasks drain.
+func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return errors.New("engine: runtime is closed")
+	}
+	rt.stageID++
+	stageID := rt.stageID
+	rt.mu.Unlock()
+
+	if len(tasks) == 0 {
+		return nil
+	}
+	rt.listeners.stageStart(name, len(tasks))
+
+	st := &stageState{
+		rt:         rt,
+		stageID:    stageID,
+		name:       name,
+		policy:     rt.cfg.newPolicy(),
+		tasks:      tasks,
+		attempts:   make([]int, len(tasks)),
+		idle:       make([]int, rt.cfg.Executors),
+		remaining:  len(tasks),
+		start:      time.Now(),
+		done:       make([]bool, len(tasks)),
+		running:    make(map[int]time.Time),
+		speculated: make(map[int]bool),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	if rt.cfg.Speculation {
+		st.scheduleSpeculationCheck()
+	}
+	for i := range st.idle {
+		st.idle[i] = rt.cfg.CoresPerExecutor
+	}
+
+	infos := make([]sched.TaskInfo, len(tasks))
+	for i, t := range tasks {
+		infos[i] = sched.TaskInfo{ID: i, PreferredNodes: t.Preferred}
+	}
+
+	st.mu.Lock()
+	st.policy.StageStart(infos, st.now())
+	stageStart := time.Now()
+	st.dispatchLocked()
+	for st.remaining > 0 {
+		st.cond.Wait()
+		if st.remaining > 0 {
+			st.dispatchLocked()
+		}
+	}
+	err := st.failed
+	specs := st.speculations
+	st.mu.Unlock()
+
+	sm := StageMetrics{Name: name, Tasks: len(tasks), Duration: time.Since(stageStart), Success: err == nil}
+	rt.metrics.recordStage(name, len(tasks), sm.Duration, err == nil)
+	rt.metrics.recordSpeculations(specs)
+	rt.listeners.stageEnd(sm)
+	if err != nil {
+		return fmt.Errorf("engine: stage %q: %w", name, err)
+	}
+	return nil
+}
+
+// dispatchLocked offers every free slot to the policy. Called with
+// st.mu held.
+func (st *stageState) dispatchLocked() {
+	if st.failed != nil {
+		return
+	}
+	// Retried and speculated tasks run before fresh offers, on any free
+	// slot; entries whose task has meanwhile completed are dropped.
+	for len(st.retries) > 0 {
+		id := st.retries[0]
+		if st.done[id] {
+			st.retries = st.retries[1:]
+			continue
+		}
+		placed := false
+		for exec := range st.idle {
+			if st.idle[exec] > 0 {
+				st.retries = st.retries[1:]
+				st.idle[exec]--
+				go st.runTask(sched.Decision{TaskID: id, Local: false}, exec)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return // all slots busy
+		}
+	}
+	for exec := range st.idle {
+		for st.idle[exec] > 0 {
+			d := st.policy.Offer(exec, st.now())
+			if d.TaskID < 0 {
+				if d.Retry > 0 {
+					st.scheduleRetry(d.Retry)
+				}
+				break
+			}
+			st.idle[exec]--
+			go st.runTask(d, exec)
+		}
+	}
+}
+
+// scheduleRetry wakes the dispatcher after the policy-requested wait.
+func (st *stageState) scheduleRetry(after float64) {
+	time.AfterFunc(time.Duration(after*float64(time.Second))+time.Millisecond, func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.remaining > 0 && st.failed == nil {
+			st.dispatchLocked()
+			st.cond.Broadcast()
+		}
+	})
+}
+
+// scheduleSpeculationCheck arms the periodic straggler scan.
+func (st *stageState) scheduleSpeculationCheck() {
+	interval := time.Duration(st.rt.cfg.SpeculationIntervalSeconds * float64(time.Second))
+	time.AfterFunc(interval, func() {
+		st.mu.Lock()
+		if st.remaining == 0 || st.failed != nil {
+			st.mu.Unlock()
+			return
+		}
+		st.speculateLocked()
+		st.dispatchLocked()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+		st.scheduleSpeculationCheck()
+	})
+}
+
+// speculateLocked queues second copies of straggling tasks. Called with
+// st.mu held.
+func (st *stageState) speculateLocked() {
+	total := len(st.tasks)
+	if float64(len(st.completedDurs)) < st.rt.cfg.SpeculationQuantile*float64(total) {
+		return
+	}
+	durs := append([]float64(nil), st.completedDurs...)
+	// Median without full sort cost concerns at this scale.
+	for i := 1; i < len(durs); i++ {
+		for j := i; j > 0 && durs[j] < durs[j-1]; j-- {
+			durs[j], durs[j-1] = durs[j-1], durs[j]
+		}
+	}
+	threshold := durs[len(durs)/2] * st.rt.cfg.SpeculationMultiplier
+	now := time.Now()
+	for id, since := range st.running {
+		if st.done[id] || st.speculated[id] {
+			continue
+		}
+		if now.Sub(since).Seconds() > threshold {
+			st.speculated[id] = true
+			st.speculations++
+			st.retries = append(st.retries, id)
+		}
+	}
+}
+
+// runTask executes one attempt on an executor goroutine.
+func (st *stageState) runTask(d sched.Decision, exec int) {
+	if d.Delay > 0 {
+		time.Sleep(time.Duration(d.Delay * float64(time.Second)))
+	}
+	st.mu.Lock()
+	attempt := st.attempts[d.TaskID]
+	st.attempts[d.TaskID]++
+	if _, live := st.running[d.TaskID]; !live {
+		st.running[d.TaskID] = time.Now()
+	}
+	st.mu.Unlock()
+
+	tc := &TaskContext{
+		StageID:  st.stageID,
+		TaskID:   d.TaskID,
+		Attempt:  attempt,
+		Executor: exec,
+	}
+	start := time.Now()
+	err := runBody(st.tasks[d.TaskID].Run, tc)
+	dur := time.Since(start).Seconds()
+	st.rt.listeners.taskEnd(TaskEvent{
+		Stage:        st.name,
+		TaskID:       d.TaskID,
+		Attempt:      attempt,
+		Executor:     exec,
+		Duration:     dur,
+		ShuffleBytes: tc.shuffleBytes,
+		Failed:       err != nil,
+	})
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.idle[exec]++
+	if st.done[d.TaskID] {
+		// A speculative sibling already won; discard this outcome.
+		st.cond.Broadcast()
+		return
+	}
+	st.policy.Completed(d.TaskID, exec, st.now(), sched.TaskStats{
+		Duration:          dur,
+		IntermediateBytes: tc.shuffleBytes,
+	})
+	st.rt.metrics.recordTask(dur, tc.shuffleBytes, d.Local, err != nil)
+	switch {
+	case err == nil:
+		st.done[d.TaskID] = true
+		delete(st.running, d.TaskID)
+		st.completedDurs = append(st.completedDurs, dur)
+		st.remaining--
+	case attempt+1 >= st.rt.cfg.MaxTaskFailures:
+		if st.failed == nil {
+			st.failed = fmt.Errorf("task %d failed after %d attempts: %w",
+				d.TaskID, attempt+1, err)
+		}
+		st.done[d.TaskID] = true
+		delete(st.running, d.TaskID)
+		st.remaining-- // give up on this task; drain the rest
+	default:
+		// Re-queue the task for another attempt anywhere.
+		st.retries = append(st.retries, d.TaskID)
+	}
+	st.cond.Broadcast()
+}
+
+// runBody invokes a task body, converting panics into errors.
+func runBody(f func(*TaskContext) error, tc *TaskContext) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task panic: %v", r)
+		}
+	}()
+	return f(tc)
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShuffleStore is the in-memory shuffle service connecting map-side
+// output buckets to reduce-side fetches. Values are boxed; the rdd
+// layer restores their static types.
+type ShuffleStore struct {
+	mu       sync.Mutex
+	shuffles map[int]*shuffleData
+	nextID   int
+	bytes    int64
+}
+
+// shuffleData holds one shuffle's buckets: [mapPartition][reducePartition].
+type shuffleData struct {
+	mapParts    int
+	reduceParts int
+	buckets     [][][]any
+	written     []bool
+}
+
+// NewShuffleStore returns an empty store.
+func NewShuffleStore() *ShuffleStore {
+	return &ShuffleStore{shuffles: make(map[int]*shuffleData)}
+}
+
+// Register allocates a shuffle with the given geometry and returns its
+// ID.
+func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	buckets := make([][][]any, mapParts)
+	for i := range buckets {
+		buckets[i] = make([][]any, reduceParts)
+	}
+	s.shuffles[s.nextID] = &shuffleData{
+		mapParts:    mapParts,
+		reduceParts: reduceParts,
+		buckets:     buckets,
+		written:     make([]bool, mapParts),
+	}
+	return s.nextID
+}
+
+// Put stores a map partition's output buckets. Re-puts (task retries)
+// overwrite the previous attempt.
+func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.shuffles[shuffleID]
+	if !ok {
+		return fmt.Errorf("engine: unknown shuffle %d", shuffleID)
+	}
+	if mapPart < 0 || mapPart >= d.mapParts {
+		return fmt.Errorf("engine: shuffle %d: map partition %d out of range", shuffleID, mapPart)
+	}
+	if len(buckets) != d.reduceParts {
+		return fmt.Errorf("engine: shuffle %d: got %d buckets, want %d", shuffleID, len(buckets), d.reduceParts)
+	}
+	d.buckets[mapPart] = buckets
+	d.written[mapPart] = true
+	return nil
+}
+
+// Fetch returns all map-side buckets for one reduce partition. It fails
+// if any map partition has not been written (stage ordering bug).
+func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.shuffles[shuffleID]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown shuffle %d", shuffleID)
+	}
+	if reducePart < 0 || reducePart >= d.reduceParts {
+		return nil, fmt.Errorf("engine: shuffle %d: reduce partition %d out of range", shuffleID, reducePart)
+	}
+	out := make([][]any, d.mapParts)
+	for m := 0; m < d.mapParts; m++ {
+		if !d.written[m] {
+			return nil, fmt.Errorf("engine: shuffle %d: map partition %d not materialized", shuffleID, m)
+		}
+		out[m] = d.buckets[m][reducePart]
+	}
+	return out, nil
+}
+
+// Complete reports whether every map partition has been written.
+func (s *ShuffleStore) Complete(shuffleID int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.shuffles[shuffleID]
+	if !ok {
+		return false
+	}
+	for _, w := range d.written {
+		if !w {
+			return false
+		}
+	}
+	return true
+}
+
+// Drop releases a shuffle's buckets.
+func (s *ShuffleStore) Drop(shuffleID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.shuffles, shuffleID)
+}
+
+// Len returns the number of registered shuffles.
+func (s *ShuffleStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shuffles)
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// specCfg builds a runtime with fast speculation checks.
+func specCfg(on bool) Config {
+	return Config{
+		Executors:                  4,
+		CoresPerExecutor:           2,
+		Speculation:                on,
+		SpeculationQuantile:        0.5,
+		SpeculationMultiplier:      1.5,
+		SpeculationIntervalSeconds: 0.005,
+	}
+}
+
+// stragglerStage builds tasks where the first attempt of task 0 hangs
+// far beyond the rest; a speculative copy returns quickly.
+func stragglerStage(release chan struct{}) []TaskSpec {
+	tasks := make([]TaskSpec, 16)
+	var first int32
+	for i := range tasks {
+		i := i
+		tasks[i] = TaskSpec{Run: func(tc *TaskContext) error {
+			if i == 0 && atomic.AddInt32(&first, 1) == 1 {
+				// The straggling original: parks until released.
+				<-release
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		}}
+	}
+	return tasks
+}
+
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	rt, err := New(specCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	done := make(chan error, 1)
+	go func() { done <- rt.RunStage("straggler", stragglerStage(release)) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stage did not complete: speculation failed to rescue the straggler")
+	}
+	if rt.Metrics().Speculations() == 0 {
+		t.Fatal("no speculative copies were launched")
+	}
+}
+
+func TestNoSpeculationWhenDisabled(t *testing.T) {
+	rt, err := New(specCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- rt.RunStage("straggler", stragglerStage(release)) }()
+	select {
+	case <-done:
+		t.Fatal("stage completed although the straggler was never released")
+	case <-time.After(100 * time.Millisecond):
+		// Still blocked, as expected without speculation.
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics().Speculations() != 0 {
+		t.Fatal("speculative copies launched with speculation disabled")
+	}
+}
+
+func TestDuplicateCompletionCountedOnce(t *testing.T) {
+	rt, err := New(specCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	if err := rt.RunStage("dup", stragglerStage(release)); err != nil {
+		t.Fatal(err)
+	}
+	// Release the parked original after the stage completed; its late
+	// result must be discarded without panicking or corrupting state.
+	close(release)
+	time.Sleep(20 * time.Millisecond)
+	// Run another stage to confirm the runtime is still healthy.
+	tasks := []TaskSpec{{Run: func(tc *TaskContext) error { return nil }}}
+	if err := rt.RunStage("after", tasks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeculationQuantileGate(t *testing.T) {
+	// With quantile 1.0 speculation can never start (all tasks must
+	// finish first), so the straggler blocks the stage.
+	cfg := specCfg(true)
+	cfg.SpeculationQuantile = 1.0
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- rt.RunStage("gated", stragglerStage(release)) }()
+	select {
+	case <-done:
+		t.Fatal("stage completed but speculation should have been gated off")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeculationDefaults(t *testing.T) {
+	c := Config{Speculation: true}.withDefaults()
+	if c.SpeculationQuantile != 0.75 || c.SpeculationMultiplier != 1.5 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.SpeculationIntervalSeconds != 0.05 {
+		t.Fatalf("interval default = %v", c.SpeculationIntervalSeconds)
+	}
+}

@@ -1,0 +1,122 @@
+// Shuffle-heavy analytics: sessionization of click events — the paper's
+// GroupBy pattern as a real program. Click records are grouped by user
+// (a full shuffle where intermediate size equals input size), sessions
+// are reconstructed per user, then session statistics are aggregated
+// with a second, smaller shuffle.
+//
+//	go run ./examples/groupby
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"hpcmr/engine"
+	"hpcmr/rdd"
+)
+
+const (
+	users  = 3000
+	clicks = 120000
+	// sessionGap is the inactivity threshold splitting sessions, seconds.
+	sessionGap = 1800.0
+)
+
+// click is one event in the log.
+type click struct {
+	User int
+	At   float64 // seconds since epoch
+	Page string
+}
+
+var pages = []string{"/home", "/search", "/item", "/cart", "/checkout"}
+
+func main() {
+	ctx, err := rdd.NewContext(engine.Config{
+		Executors:        4,
+		CoresPerExecutor: 4,
+		Policy:           engine.FIFO, // the paper's recommendation for HPC
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctx.Stop()
+
+	// Synthesize a click log: users act in bursts, so sessions emerge.
+	rng := rand.New(rand.NewSource(11))
+	events := make([]click, clicks)
+	for i := range events {
+		events[i] = click{
+			User: rng.Intn(users),
+			At:   float64(rng.Intn(7 * 24 * 3600)),
+			Page: pages[rng.Intn(len(pages))],
+		}
+	}
+
+	log1 := rdd.Parallelize(ctx, events, 16)
+
+	// Shuffle 1: all of a user's clicks to one place (GroupBy pattern;
+	// intermediate data == input data).
+	byUser := rdd.GroupByKey(rdd.KeyBy(log1, func(c click) int { return c.User }), 16)
+
+	// Reconstruct sessions per user and emit (sessionLength, pageViews).
+	type session struct {
+		Clicks int
+		Span   float64
+	}
+	sessions := rdd.FlatMap(byUser, func(p rdd.Pair[int, []click]) []session {
+		cs := p.Value
+		sort.Slice(cs, func(i, j int) bool { return cs[i].At < cs[j].At })
+		var out []session
+		cur := session{}
+		var start, last float64
+		for i, c := range cs {
+			if i == 0 || c.At-last > sessionGap {
+				if cur.Clicks > 0 {
+					cur.Span = last - start
+					out = append(out, cur)
+				}
+				cur = session{}
+				start = c.At
+			}
+			cur.Clicks++
+			last = c.At
+		}
+		if cur.Clicks > 0 {
+			cur.Span = last - start
+			out = append(out, cur)
+		}
+		return out
+	})
+
+	// Shuffle 2: distribution of session lengths (small intermediate).
+	histo, err := rdd.CollectAsMap(rdd.ReduceByKey(
+		rdd.Map(sessions, func(s session) rdd.Pair[int, int] {
+			return rdd.Pair[int, int]{Key: s.Clicks, Value: 1}
+		}),
+		func(a, b int) int { return a + b }, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total, err := sessions.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed %d sessions from %d clicks by %d users\n", total, clicks, users)
+	fmt.Println("session length distribution (clicks -> sessions):")
+	var lengths []int
+	for l := range histo {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	for _, l := range lengths {
+		if l > 8 {
+			break
+		}
+		fmt.Printf("  %2d  %d\n", l, histo[l])
+	}
+	fmt.Printf("engine: %s\n", ctx.Runtime().Metrics())
+}

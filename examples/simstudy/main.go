@@ -1,0 +1,109 @@
+// Mini characterization study on the cluster simulator: a compact
+// version of the paper's headline experiments, runnable in seconds.
+// It contrasts (1) intermediate-data placement across storage
+// architectures, (2) delay scheduling on vs off, and (3) the two
+// optimizations (ELB, CAD) against the baseline scheduler.
+//
+//	go run ./examples/simstudy
+package main
+
+import (
+	"fmt"
+
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/core"
+	"hpcmr/internal/dfs"
+	"hpcmr/internal/lustre"
+	"hpcmr/internal/sched"
+	"hpcmr/internal/workload"
+)
+
+const (
+	nodes = 40
+	data  = 200 * workload.GB
+	split = 256 * workload.MB
+)
+
+// rig builds a fresh simulated cluster for one run.
+func rig(dev cluster.DeviceKind, skew bool) (*core.Engine, int) {
+	cfg := cluster.DefaultConfig(nodes)
+	cfg.LocalDevice = dev
+	if !skew {
+		cfg.Skew = cluster.SkewConfig{}
+	}
+	c := cluster.New(cfg)
+	var hd *dfs.FS
+	if dev != cluster.NoLocalDevice {
+		dcfg := dfs.DefaultConfig()
+		dcfg.Replication = 1
+		hd = dfs.New(c.Sim, c.Fabric, dcfg, c.RAMDisks())
+	}
+	lcfg := lustre.DefaultConfig()
+	lcfg.AggregateBandwidth = 47e9 * nodes / 100
+	lfs := lustre.New(c.Sim, c.Fluid, c.Fabric, lcfg)
+	return core.NewEngine(c, hd, lfs), nodes
+}
+
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Printf("simulated cluster: %d nodes x 16 cores, IB QDR, Lustre 47 GB/s (scaled)\n\n", nodes)
+
+	// 1. Where should intermediate data live?
+	fmt.Println("1) GroupBy, 200 GB intermediate data placement:")
+	for _, c := range []struct {
+		label string
+		dev   cluster.DeviceKind
+		store core.StoreKind
+	}{
+		{"node-local RAMDisk (data-centric)", cluster.RAMDiskDevice, core.StoreLocal},
+		{"node-local SSD", cluster.SSDDevice, core.StoreLocal},
+		{"Lustre, writer-served fetch ", cluster.NoLocalDevice, core.StoreLustreLocal},
+		{"Lustre, shared direct fetch ", cluster.NoLocalDevice, core.StoreLustreShared},
+	} {
+		eng, _ := rig(c.dev, false)
+		spec := workload.GroupBy(data, split)
+		spec.Store = c.store
+		res := must(eng.Run(spec, core.Policies{}))
+		fmt.Printf("   %-36s %7.2f s   (%s)\n", c.label, res.JobTime, res.Dissection())
+	}
+
+	// 2. Is locality worth waiting for?
+	fmt.Println("\n2) Grep, 200 GB from co-located HDFS — delay scheduling:")
+	for _, c := range []struct {
+		label string
+		pol   sched.Policy
+	}{
+		{"no-wait locality", sched.NewLocalityPreferring()},
+		{"delay scheduling (3 s wait)", sched.NewDelay(3)},
+		{"pure FIFO", sched.NewFIFO()},
+	} {
+		eng, _ := rig(cluster.RAMDiskDevice, true)
+		spec := workload.Grep(data, 32*workload.MB, core.InputHDFS)
+		res := must(eng.Run(spec, core.Policies{Map: c.pol}))
+		fmt.Printf("   %-36s %7.2f s\n", c.label, res.JobTime)
+	}
+
+	// 3. The paper's optimizations.
+	fmt.Println("\n3) GroupBy on SSD with node skew — ELB and CAD:")
+	for _, c := range []struct {
+		label string
+		pol   core.Policies
+	}{
+		{"baseline Spark scheduler", core.Policies{}},
+		{"ELB (balanced intermediate)", core.Policies{Map: sched.NewELB(nodes, 0.25)}},
+		{"CAD (throttled ShuffleMapTasks)", core.Policies{Store: sched.NewCAD(sched.NewPinned())}},
+	} {
+		eng, _ := rig(cluster.SSDDevice, true)
+		spec := workload.GroupBy(3*data, split)
+		res := must(eng.Run(spec, c.pol))
+		d := res.Dissection()
+		fmt.Printf("   %-36s %7.2f s   storing=%.2fs shuffle=%.2fs\n",
+			c.label, res.JobTime, d.Storing, d.Shuffle)
+	}
+}

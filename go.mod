@@ -1,0 +1,3 @@
+module hpcmr
+
+go 1.24

@@ -1,0 +1,31 @@
+// Package hpcmr reproduces "Characterization and Optimization of
+// Memory-Resident MapReduce on HPC Systems" (Wang, Goldstone, Yu, Wang —
+// IPDPS 2014).
+//
+// The repository contains two complementary systems:
+//
+//   - A real memory-resident MapReduce library: package rdd (typed,
+//     lazily evaluated RDDs with narrow and shuffle transformations,
+//     caching, and actions) over package engine (a local multi-executor
+//     runtime with pluggable scheduling policies, task retry, and an
+//     in-memory shuffle service).
+//
+//   - A discrete-event simulation of the paper's Hyperion testbed:
+//     internal/simclock (event kernel and fluid-flow bandwidth sharing),
+//     internal/netsim (InfiniBand fabric), internal/storage (RAMDisk,
+//     SSD with garbage-collection dynamics, page cache), internal/lustre
+//     (MDS, OSS pool with congestion collapse, distributed lock
+//     manager), internal/dfs (HDFS-like co-located storage),
+//     internal/cluster (nodes, cores, performance skew), and
+//     internal/core (the simulated Spark-like job pipeline).
+//
+// The paper's contributed scheduler policies — delay scheduling as the
+// studied baseline, the Enhanced Load Balancer (ELB), and
+// Congestion-Aware Dispatching (CAD) — live in internal/sched and are
+// shared by both systems. internal/experiments regenerates every table
+// and figure of the evaluation; see bench_test.go, cmd/mrbench, and
+// EXPERIMENTS.md.
+package hpcmr
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/dfs"
+	"hpcmr/internal/lustre"
+	"hpcmr/internal/netsim"
+	"hpcmr/internal/sched"
+	"hpcmr/internal/storage"
+)
+
+// testRig assembles a small cluster with both file systems.
+func testRig(nodes int, dev cluster.DeviceKind) *Engine {
+	cfg := cluster.DefaultConfig(nodes)
+	cfg.CoresPerNode = 2
+	cfg.LocalDevice = dev
+	cfg.PageCacheBytes = 64e6
+	cfg.Skew = cluster.SkewConfig{} // homogeneous unless a test wants skew
+	cfg.DispatchOverhead = 1e-4
+	cfg.Net.RequestOverhead = 0
+	cfg.Net.BaseLatency = 0
+	c := cluster.New(cfg)
+	var hd *dfs.FS
+	if dev != cluster.NoLocalDevice {
+		dcfg := dfs.DefaultConfig()
+		dcfg.BlockSize = 8e6
+		hd = dfs.New(c.Sim, c.Fabric, dcfg, c.LocalDevices())
+	}
+	lcfg := lustre.DefaultConfig()
+	lcfg.AggregateBandwidth = 2e9
+	lcfg.ClientCacheBytes = 64e6
+	lfs := lustre.New(c.Sim, c.Fluid, c.Fabric, lcfg)
+	return NewEngine(c, hd, lfs)
+}
+
+func smallGroupBy(bytes float64) JobSpec {
+	return JobSpec{
+		Name:              "gb",
+		InputBytes:        bytes,
+		SplitBytes:        4e6,
+		ComputeRate:       100e6,
+		IntermediateRatio: 1,
+		Iterations:        1,
+		Input:             InputGenerated,
+		Store:             StoreLocal,
+	}
+}
+
+func TestGroupByCompletes(t *testing.T) {
+	e := testRig(4, cluster.RAMDiskDevice)
+	res, err := e.Run(smallGroupBy(64e6), Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobTime <= 0 {
+		t.Fatalf("JobTime = %v", res.JobTime)
+	}
+	if len(res.Iters) != 1 {
+		t.Fatalf("iterations = %d, want 1", len(res.Iters))
+	}
+	it := res.Iters[0]
+	if got := len(it.Map.Timeline.Records); got != 16 {
+		t.Fatalf("map tasks = %d, want 16", got)
+	}
+	if got := len(it.Store.Timeline.Records); got != 16 {
+		t.Fatalf("store tasks = %d, want 16", got)
+	}
+	if got := len(it.Shuffle.Timeline.Records); got != 4 {
+		t.Fatalf("shuffle tasks = %d, want 4 (one reducer per node)", got)
+	}
+}
+
+func TestPhasesSerialized(t *testing.T) {
+	e := testRig(4, cluster.RAMDiskDevice)
+	res, err := e.Run(smallGroupBy(64e6), Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Iters[0]
+	if !(it.Map.Start <= it.Map.End && it.Map.End <= it.Store.Start &&
+		it.Store.End <= it.Shuffle.Start && it.Shuffle.Start <= it.Shuffle.End) {
+		t.Fatalf("phase bounds out of order: map=[%v,%v] store=[%v,%v] shuffle=[%v,%v]",
+			it.Map.Start, it.Map.End, it.Store.Start, it.Store.End, it.Shuffle.Start, it.Shuffle.End)
+	}
+	d := res.Dissection()
+	if math.Abs(d.Total()-res.JobTime) > res.JobTime*0.01+1e-6 {
+		t.Fatalf("dissection total %v != job time %v", d.Total(), res.JobTime)
+	}
+}
+
+func TestIntermediateConservation(t *testing.T) {
+	e := testRig(4, cluster.RAMDiskDevice)
+	spec := smallGroupBy(64e6)
+	res, err := e.Run(spec, Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, b := range res.PerNodeIntermediate() {
+		total += b
+	}
+	if math.Abs(total-spec.InputBytes*spec.IntermediateRatio) > 1 {
+		t.Fatalf("intermediate total = %v, want %v", total, spec.InputBytes)
+	}
+	var tasks int
+	for _, c := range res.PerNodeTasks() {
+		tasks += c
+	}
+	if tasks != spec.NumMapTasks() {
+		t.Fatalf("task total = %d, want %d", tasks, spec.NumMapTasks())
+	}
+}
+
+func TestUnevenLastSplit(t *testing.T) {
+	e := testRig(2, cluster.RAMDiskDevice)
+	spec := smallGroupBy(10e6) // 4 MB splits -> 2.5 splits -> 3 tasks
+	res, err := e.Run(spec, Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Iters[0].Map.Timeline.Records); n != 3 {
+		t.Fatalf("map tasks = %d, want 3", n)
+	}
+	var total float64
+	for _, b := range res.PerNodeIntermediate() {
+		total += b
+	}
+	if math.Abs(total-10e6) > 1 {
+		t.Fatalf("intermediate = %v, want 10e6 (last split smaller)", total)
+	}
+}
+
+func TestLRIterationsCached(t *testing.T) {
+	e := testRig(4, cluster.RAMDiskDevice)
+	spec := JobSpec{
+		Name:        "lr",
+		InputBytes:  64e6,
+		SplitBytes:  4e6,
+		ComputeRate: 400e6,
+		Iterations:  3,
+		CacheInput:  true,
+		Input:       InputLustre,
+		Store:       StoreNone,
+	}
+	// Make Lustre the clear input bottleneck.
+	res, err := e.Run(spec, Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 3 {
+		t.Fatalf("iterations = %d, want 3", len(res.Iters))
+	}
+	first := res.Iters[0].Map.Duration()
+	second := res.Iters[1].Map.Duration()
+	if second >= first {
+		t.Fatalf("cached iteration (%v) should beat the first (%v)", second, first)
+	}
+	// No shuffle for LR.
+	if res.Iters[0].Shuffle.Duration() != 0 || res.Iters[0].Store.Duration() != 0 {
+		t.Fatal("LR must not have storing/shuffle phases")
+	}
+}
+
+func TestGrepHDFSBeatsLustreWhenScanBound(t *testing.T) {
+	run := func(input InputKind) float64 {
+		e := testRig(4, cluster.RAMDiskDevice)
+		spec := JobSpec{
+			Name:              "grep",
+			InputBytes:        128e6,
+			SplitBytes:        4e6,
+			ComputeRate:       500e6,
+			IntermediateRatio: 0.0005,
+			Iterations:        1,
+			Input:             input,
+			Store:             StoreLocal,
+		}
+		res, err := e.Run(spec, Policies{Map: sched.NewLocalityPreferring()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.JobTime
+	}
+	hdfs := run(InputHDFS)
+	lus := run(InputLustre)
+	if lus <= hdfs {
+		t.Fatalf("Lustre grep (%v) should be slower than HDFS grep (%v)", lus, hdfs)
+	}
+}
+
+func TestLustreSharedSlowerThanLustreLocal(t *testing.T) {
+	run := func(store StoreKind) *Result {
+		e := testRig(4, cluster.NoLocalDevice)
+		spec := smallGroupBy(128e6)
+		spec.Store = store
+		res, err := e.Run(spec, Policies{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	local := run(StoreLustreLocal)
+	shared := run(StoreLustreShared)
+	if shared.JobTime <= local.JobTime {
+		t.Fatalf("Lustre-shared (%v) should be slower than Lustre-local (%v)",
+			shared.JobTime, local.JobTime)
+	}
+	// The gap is concentrated in the shuffling phase (Fig 7(b)).
+	ls := local.Iters[0].Shuffle.Duration()
+	ss := shared.Iters[0].Shuffle.Duration()
+	if ss <= ls {
+		t.Fatalf("shared shuffle (%v) should exceed local shuffle (%v)", ss, ls)
+	}
+}
+
+func TestMissingHDFSRejected(t *testing.T) {
+	e := testRig(2, cluster.NoLocalDevice)
+	spec := smallGroupBy(8e6)
+	spec.Input = InputHDFS
+	if _, err := e.Run(spec, Policies{}); err == nil {
+		t.Fatal("expected error for HDFS input without HDFS")
+	}
+}
+
+func TestMissingLocalDeviceRejected(t *testing.T) {
+	e := testRig(2, cluster.NoLocalDevice)
+	spec := smallGroupBy(8e6) // StoreLocal
+	if _, err := e.Run(spec, Policies{}); err == nil {
+		t.Fatal("expected error for local store without local device")
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	e := testRig(2, cluster.RAMDiskDevice)
+	bad := []JobSpec{
+		{Name: "a", InputBytes: 0, SplitBytes: 1, ComputeRate: 1},
+		{Name: "b", InputBytes: 1, SplitBytes: 0, ComputeRate: 1},
+		{Name: "c", InputBytes: 1, SplitBytes: 1, ComputeRate: 0},
+		{Name: "d", InputBytes: 1, SplitBytes: 1, ComputeRate: 1, IntermediateRatio: -1},
+	}
+	for _, s := range bad {
+		if _, err := e.Run(s, Policies{}); err == nil {
+			t.Fatalf("spec %q should be rejected", s.Name)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() float64 {
+		e := testRig(4, cluster.RAMDiskDevice)
+		res, err := e.Run(smallGroupBy(64e6), Policies{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.JobTime
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSkewCreatesImbalanceAndELBReducesIt(t *testing.T) {
+	imbalance := func(pol Policies) float64 {
+		cfg := cluster.DefaultConfig(8)
+		cfg.CoresPerNode = 2
+		cfg.LocalDevice = cluster.RAMDiskDevice
+		cfg.Skew = cluster.SkewConfig{Sigma: 0.4}
+		cfg.DispatchOverhead = 1e-4
+		cfg.Seed = 7
+		c := cluster.New(cfg)
+		e := NewEngine(c, nil, nil)
+		spec := smallGroupBy(512e6)
+		spec.SplitBytes = 2e6
+		res, err := e.Run(spec, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := res.PerNodeIntermediate()
+		min, max := math.Inf(1), 0.0
+		for _, b := range per {
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		if min == 0 {
+			return math.Inf(1)
+		}
+		return max / min
+	}
+	base := imbalance(Policies{Map: sched.NewFIFO()})
+	elb := imbalance(Policies{Map: sched.NewELB(8, 0.25)})
+	if base < 1.2 {
+		t.Fatalf("skewed FIFO imbalance = %v, expected > 1.2", base)
+	}
+	if elb >= base {
+		t.Fatalf("ELB imbalance (%v) should be below FIFO (%v)", elb, base)
+	}
+}
+
+func TestCADRunsAndThrottles(t *testing.T) {
+	cfg := cluster.DefaultConfig(4)
+	cfg.CoresPerNode = 4
+	cfg.LocalDevice = cluster.SSDDevice
+	cfg.PageCacheBytes = 8e6
+	cfg.SSD = storage.SSDSpec{
+		WriteBandwidth: 50e6, ReadBandwidth: 80e6, CapacityBytes: 10e9,
+		CleanPoolBytes: 20e6, GCWindowBytes: 20e6,
+		WriteFloorFraction: 0.2, ReadFloorFraction: 0.6, WriteInterference: 0.3,
+	}
+	cfg.Skew = cluster.SkewConfig{}
+	cfg.DispatchOverhead = 1e-4
+	c := cluster.New(cfg)
+	e := NewEngine(c, nil, nil)
+	spec := smallGroupBy(512e6)
+	spec.SplitBytes = 2e6
+	cad := sched.NewCAD(sched.NewPinned())
+	res, err := e.Run(spec, Policies{Store: cad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobTime <= 0 {
+		t.Fatal("CAD run did not complete")
+	}
+	if cad.Adjustments() == 0 {
+		t.Fatal("expected CAD to engage under SSD congestion")
+	}
+}
+
+func TestNetConfigReusedAcrossJobs(t *testing.T) {
+	// Two jobs on one engine: the second starts after the first's
+	// background flushes and still completes.
+	e := testRig(4, cluster.RAMDiskDevice)
+	if _, err := e.Run(smallGroupBy(32e6), Policies{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(smallGroupBy(32e6), Policies{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReducersParameter(t *testing.T) {
+	e := testRig(4, cluster.RAMDiskDevice)
+	spec := smallGroupBy(64e6)
+	spec.Reducers = 7
+	res, err := e.Run(spec, Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Iters[0].Shuffle.Timeline.Records); n != 7 {
+		t.Fatalf("reducers = %d, want 7", n)
+	}
+}
+
+func TestDelaySchedulingDegradesWithSkew(t *testing.T) {
+	run := func(pol sched.Policy) float64 {
+		cfg := cluster.DefaultConfig(8)
+		cfg.CoresPerNode = 2
+		cfg.LocalDevice = cluster.RAMDiskDevice
+		cfg.Skew = cluster.SkewConfig{Sigma: 0.5}
+		cfg.Seed = 11
+		cfg.DispatchOverhead = 1e-4
+		c := cluster.New(cfg)
+		dcfg := dfs.DefaultConfig()
+		dcfg.BlockSize = 4e6
+		dcfg.Replication = 1
+		hd := dfs.New(c.Sim, c.Fabric, dcfg, c.LocalDevices())
+		e := NewEngine(c, hd, nil)
+		spec := JobSpec{
+			Name:              "grep",
+			InputBytes:        256e6,
+			SplitBytes:        4e6,
+			ComputeRate:       200e6,
+			IntermediateRatio: 0.001,
+			Iterations:        1,
+			Input:             InputHDFS,
+			Store:             StoreLocal,
+		}
+		res, err := e.Run(spec, Policies{Map: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.JobTime
+	}
+	noDelay := run(sched.NewLocalityPreferring())
+	delay := run(sched.NewDelay(0.5))
+	if delay <= noDelay {
+		t.Fatalf("delay scheduling (%v) should degrade vs no-wait locality (%v) under skew",
+			delay, noDelay)
+	}
+}
+
+var _ = netsim.DefaultConfig // keep import when tests shrink

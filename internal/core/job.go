@@ -1,0 +1,225 @@
+// Package core is the simulated memory-resident MapReduce engine — the
+// paper's primary subject. A job executes as serialized phases over the
+// simulated cluster, mirroring the Spark pipeline of Fig 3/4:
+//
+//	compute phase  — map tasks read input (HDFS, Lustre, cached memory,
+//	                 or generated) pipelined with user computation and
+//	                 leave intermediate data in node memory;
+//	storing phase  — ShuffleMapTasks, pinned to the nodes holding the
+//	                 in-memory output, partition it and write it to the
+//	                 configured intermediate store;
+//	shuffle phase  — fetch tasks launched across the cluster pull their
+//	                 partitions from every mapper node over the fabric
+//	                 or through the shared file system.
+//
+// Scheduling policies from internal/sched drive task placement per
+// phase, so the paper's baseline, delay scheduling, ELB, and CAD can be
+// swapped in per experiment.
+package core
+
+import (
+	"fmt"
+
+	"hpcmr/internal/metrics"
+)
+
+// InputKind selects where a job's input comes from.
+type InputKind int
+
+// Input sources.
+const (
+	// InputGenerated synthesizes records in memory (GroupBy).
+	InputGenerated InputKind = iota
+	// InputHDFS reads from the co-located DFS (data-centric config).
+	InputHDFS
+	// InputLustre reads from the shared parallel FS (compute-centric).
+	InputLustre
+)
+
+func (k InputKind) String() string {
+	switch k {
+	case InputHDFS:
+		return "hdfs"
+	case InputLustre:
+		return "lustre"
+	default:
+		return "generated"
+	}
+}
+
+// StoreKind selects where intermediate (shuffle) data is stored.
+type StoreKind int
+
+// Intermediate stores.
+const (
+	// StoreLocal writes to the node-local device (RAMDisk or SSD behind
+	// the page cache) — the data-centric path.
+	StoreLocal StoreKind = iota
+	// StoreLustreLocal writes to Lustre; fetch requests are served by
+	// the writer node from its own client cache and cross the network
+	// once more (Fig 6 left).
+	StoreLustreLocal
+	// StoreLustreShared writes to Lustre; fetchers read remote-written
+	// files directly, triggering DLM lock revocations (Fig 6 right).
+	StoreLustreShared
+	// StoreNone skips the storing and shuffle phases (pure compute
+	// jobs such as Logistic Regression iterations).
+	StoreNone
+)
+
+func (k StoreKind) String() string {
+	switch k {
+	case StoreLustreLocal:
+		return "lustre-local"
+	case StoreLustreShared:
+		return "lustre-shared"
+	case StoreNone:
+		return "none"
+	default:
+		return "local"
+	}
+}
+
+// JobSpec describes a MapReduce job to simulate.
+type JobSpec struct {
+	// Name labels the job in reports.
+	Name string
+	// InputBytes is the total input size.
+	InputBytes float64
+	// SplitBytes is the per-task input split (32–256 MB in the paper).
+	SplitBytes float64
+	// ComputeRate is the per-core user-computation rate in bytes/s;
+	// lower means more computation-intensive (LR << Grep < GroupBy).
+	ComputeRate float64
+	// IntermediateRatio is intermediate bytes per input byte (GroupBy 1,
+	// Grep ~0.0005, LR 0).
+	IntermediateRatio float64
+	// Iterations is the number of chained jobs (LR: 3); each iteration
+	// re-reads input unless CacheInput is set.
+	Iterations int
+	// CacheInput keeps the input RDD in executor memory after the first
+	// iteration (Spark's memory-resident feature).
+	CacheInput bool
+	// Reducers is the number of fetch tasks in the shuffle phase; zero
+	// defaults to one per node.
+	Reducers int
+	// Input is the input source.
+	Input InputKind
+	// Store is the intermediate data destination.
+	Store StoreKind
+}
+
+// Validate reports configuration errors.
+func (s *JobSpec) Validate() error {
+	if s.InputBytes <= 0 {
+		return fmt.Errorf("core: job %q: InputBytes must be positive", s.Name)
+	}
+	if s.SplitBytes <= 0 {
+		return fmt.Errorf("core: job %q: SplitBytes must be positive", s.Name)
+	}
+	if s.ComputeRate <= 0 {
+		return fmt.Errorf("core: job %q: ComputeRate must be positive", s.Name)
+	}
+	if s.IntermediateRatio < 0 {
+		return fmt.Errorf("core: job %q: IntermediateRatio must be >= 0", s.Name)
+	}
+	if s.Iterations < 1 {
+		s.Iterations = 1
+	}
+	return nil
+}
+
+// NumMapTasks returns the number of map tasks per iteration.
+func (s *JobSpec) NumMapTasks() int {
+	n := int(s.InputBytes / s.SplitBytes)
+	if float64(n)*s.SplitBytes < s.InputBytes {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PhaseResult captures one phase of one iteration.
+type PhaseResult struct {
+	// Start and End are the phase's virtual-time bounds; a skipped
+	// phase has Start == End.
+	Start, End float64
+	// Timeline holds one record per task.
+	Timeline metrics.Timeline
+}
+
+// Duration returns the phase wall time.
+func (p PhaseResult) Duration() float64 { return p.End - p.Start }
+
+// IterationResult captures one iteration of a job.
+type IterationResult struct {
+	Map     PhaseResult
+	Store   PhaseResult
+	Shuffle PhaseResult
+	// PerNodeIntermediate is the intermediate bytes each node
+	// accumulated during the map phase.
+	PerNodeIntermediate []float64
+	// PerNodeTasks is the number of map tasks each node executed.
+	PerNodeTasks []int
+	// LocalLaunches and RemoteLaunches count map-task locality.
+	LocalLaunches, RemoteLaunches int
+}
+
+// Dissection returns the per-phase time breakdown of the iteration.
+func (it *IterationResult) Dissection() metrics.Dissection {
+	return metrics.Dissection{
+		Compute: it.Map.Duration(),
+		Storing: it.Store.Duration(),
+		Shuffle: it.Shuffle.Duration(),
+	}
+}
+
+// Result is a completed simulated job.
+type Result struct {
+	Spec JobSpec
+	// JobTime is total virtual execution time across iterations.
+	JobTime float64
+	Iters   []IterationResult
+}
+
+// Dissection sums the per-phase breakdown over all iterations.
+func (r *Result) Dissection() metrics.Dissection {
+	var d metrics.Dissection
+	for i := range r.Iters {
+		it := r.Iters[i].Dissection()
+		d.Compute += it.Compute
+		d.Storing += it.Storing
+		d.Shuffle += it.Shuffle
+	}
+	return d
+}
+
+// PerNodeIntermediate sums intermediate bytes per node over iterations.
+func (r *Result) PerNodeIntermediate() []float64 {
+	if len(r.Iters) == 0 {
+		return nil
+	}
+	out := make([]float64, len(r.Iters[0].PerNodeIntermediate))
+	for i := range r.Iters {
+		for n, b := range r.Iters[i].PerNodeIntermediate {
+			out[n] += b
+		}
+	}
+	return out
+}
+
+// PerNodeTasks sums map tasks per node over iterations.
+func (r *Result) PerNodeTasks() []int {
+	if len(r.Iters) == 0 {
+		return nil
+	}
+	out := make([]int, len(r.Iters[0].PerNodeTasks))
+	for i := range r.Iters {
+		for n, c := range r.Iters[i].PerNodeTasks {
+			out[n] += c
+		}
+	}
+	return out
+}

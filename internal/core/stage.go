@@ -1,0 +1,153 @@
+package core
+
+import (
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/metrics"
+	"hpcmr/internal/sched"
+)
+
+// taskExec runs one task's body on a node. launch is the task's start
+// time (after dispatch); the body must eventually call done exactly once
+// with the task's stats.
+type taskExec func(id, node int, launch float64, done func(stats sched.TaskStats))
+
+// stageRunner drives one stage: it offers free core slots to the policy,
+// dispatches assigned tasks through the centralized master, executes
+// their bodies, and records a timeline.
+type stageRunner struct {
+	c        *cluster.Cluster
+	policy   sched.Policy
+	exec     taskExec
+	timeline *metrics.Timeline
+	onDone   func()
+
+	remaining int
+	active    bool
+	local     int
+	remote    int
+}
+
+// runStage executes tasks under policy and calls onDone(timeline,
+// localLaunches, remoteLaunches) when the last task completes. Stages
+// with no tasks complete on the next event.
+func runStage(c *cluster.Cluster, policy sched.Policy, tasks []sched.TaskInfo, exec taskExec,
+	onDone func(tl *metrics.Timeline, local, remote int)) {
+	tl := &metrics.Timeline{}
+	if len(tasks) == 0 {
+		c.Sim.After(0, func() { onDone(tl, 0, 0) })
+		return
+	}
+	r := &stageRunner{
+		c:         c,
+		policy:    policy,
+		exec:      exec,
+		timeline:  tl,
+		remaining: len(tasks),
+		active:    true,
+	}
+	r.onDone = func() {
+		r.active = false
+		onDone(r.timeline, r.local, r.remote)
+	}
+	policy.StageStart(tasks, c.Sim.Now())
+	r.offerAll()
+}
+
+// offerAll drives rounds of single-slot offers across all nodes, so a
+// stage smaller than the cluster's slot count spreads over nodes (as
+// Spark's per-executor resource offers do) instead of packing the first
+// nodes' cores.
+func (r *stageRunner) offerAll() {
+	for {
+		progress := false
+		for _, n := range r.c.Nodes {
+			if !r.active {
+				return
+			}
+			if n.IdleCores() > 0 && r.offerOne(n) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// offer drives one node's idle slots until the policy declines.
+func (r *stageRunner) offer(n *cluster.Node) {
+	for r.active && n.IdleCores() > 0 && r.offerOne(n) {
+	}
+}
+
+// offerOne offers a single slot of n; it reports whether a task
+// launched.
+func (r *stageRunner) offerOne(n *cluster.Node) bool {
+	now := r.c.Sim.Now()
+	d := r.policy.Offer(n.ID, now)
+	if d.TaskID < 0 {
+		if d.Retry > 0 {
+			// Clamp below-resolution retries so the simulation always
+			// advances past the policy's wait boundary.
+			retry := d.Retry
+			if retry < 1e-6 {
+				retry = 1e-6
+			}
+			node := n
+			r.c.Sim.After(retry, func() { r.offer(node) })
+		}
+		return false
+	}
+	if d.Local {
+		r.local++
+	} else {
+		r.remote++
+	}
+	n.AcquireCore()
+	r.launch(d, n)
+	return true
+}
+
+// launch dispatches one assigned task: optional policy delay, then the
+// centralized master's per-task dispatch cost, then the task body.
+func (r *stageRunner) launch(d sched.Decision, n *cluster.Node) {
+	start := func() {
+		r.c.Dispatch(func() {
+			launch := r.c.Sim.Now()
+			r.exec(d.TaskID, n.ID, launch, func(stats sched.TaskStats) {
+				r.finish(d, n, launch, stats)
+			})
+		})
+	}
+	if d.Delay > 0 {
+		r.c.Sim.After(d.Delay, start)
+	} else {
+		start()
+	}
+}
+
+// finish records a completed task and re-offers idle slots.
+func (r *stageRunner) finish(d sched.Decision, n *cluster.Node, launch float64, stats sched.TaskStats) {
+	now := r.c.Sim.Now()
+	r.timeline.Add(metrics.TaskRecord{
+		ID:     d.TaskID,
+		Node:   n.ID,
+		Launch: launch,
+		Finish: now,
+		Bytes:  stats.IntermediateBytes,
+		Local:  d.Local,
+	})
+	if stats.Duration == 0 {
+		// Fill in measured duration when the body did not.
+		rec := &r.timeline.Records[len(r.timeline.Records)-1]
+		stats.Duration = rec.Duration()
+	}
+	n.ReleaseCore()
+	r.policy.Completed(d.TaskID, n.ID, now, stats)
+	r.remaining--
+	if r.remaining == 0 {
+		r.onDone()
+		return
+	}
+	r.offerAll()
+}

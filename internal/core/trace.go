@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"hpcmr/internal/metrics"
+)
+
+// traceTask is the JSON form of one task record.
+type traceTask struct {
+	ID     int     `json:"id"`
+	Node   int     `json:"node"`
+	Launch float64 `json:"launch"`
+	Finish float64 `json:"finish"`
+	Bytes  float64 `json:"bytes,omitempty"`
+	Local  bool    `json:"local"`
+}
+
+// tracePhase is the JSON form of one phase.
+type tracePhase struct {
+	Start float64     `json:"start"`
+	End   float64     `json:"end"`
+	Tasks []traceTask `json:"tasks"`
+}
+
+// traceIteration is the JSON form of one iteration.
+type traceIteration struct {
+	Map     tracePhase `json:"map"`
+	Store   tracePhase `json:"store"`
+	Shuffle tracePhase `json:"shuffle"`
+}
+
+// trace is the document WriteTrace emits.
+type trace struct {
+	Job        string           `json:"job"`
+	JobTime    float64          `json:"jobTime"`
+	Iterations []traceIteration `json:"iterations"`
+}
+
+func phaseTrace(p PhaseResult) tracePhase {
+	out := tracePhase{Start: p.Start, End: p.End}
+	for _, r := range p.Timeline.Records {
+		out.Tasks = append(out.Tasks, traceTask{
+			ID: r.ID, Node: r.Node, Launch: r.Launch, Finish: r.Finish,
+			Bytes: r.Bytes, Local: r.Local,
+		})
+	}
+	return out
+}
+
+// WriteTrace emits the job's full task timeline as JSON — every task of
+// every phase of every iteration, with launch/finish times in virtual
+// seconds — for offline analysis and plotting.
+func (r *Result) WriteTrace(w io.Writer) error {
+	doc := trace{Job: r.Spec.Name, JobTime: r.JobTime}
+	for i := range r.Iters {
+		it := &r.Iters[i]
+		doc.Iterations = append(doc.Iterations, traceIteration{
+			Map:     phaseTrace(it.Map),
+			Store:   phaseTrace(it.Store),
+			Shuffle: phaseTrace(it.Shuffle),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// TimelineJSON is a convenience for dumping a single timeline.
+func TimelineJSON(tl *metrics.Timeline, w io.Writer) error {
+	var tasks []traceTask
+	for _, r := range tl.Records {
+		tasks = append(tasks, traceTask{
+			ID: r.ID, Node: r.Node, Launch: r.Launch, Finish: r.Finish,
+			Bytes: r.Bytes, Local: r.Local,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tasks)
+}

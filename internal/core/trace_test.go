@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/metrics"
+)
+
+func TestWriteTrace(t *testing.T) {
+	e := testRig(4, cluster.RAMDiskDevice)
+	res, err := e.Run(smallGroupBy(64e6), Policies{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Job        string  `json:"job"`
+		JobTime    float64 `json:"jobTime"`
+		Iterations []struct {
+			Map struct {
+				Start float64 `json:"start"`
+				End   float64 `json:"end"`
+				Tasks []struct {
+					ID     int     `json:"id"`
+					Node   int     `json:"node"`
+					Launch float64 `json:"launch"`
+					Finish float64 `json:"finish"`
+				} `json:"tasks"`
+			} `json:"map"`
+			Store   json.RawMessage `json:"store"`
+			Shuffle json.RawMessage `json:"shuffle"`
+		} `json:"iterations"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.Job != "gb" || doc.JobTime <= 0 {
+		t.Fatalf("header: %+v", doc.Job)
+	}
+	if len(doc.Iterations) != 1 {
+		t.Fatalf("iterations = %d", len(doc.Iterations))
+	}
+	m := doc.Iterations[0].Map
+	if len(m.Tasks) != 16 {
+		t.Fatalf("map tasks = %d, want 16", len(m.Tasks))
+	}
+	for _, task := range m.Tasks {
+		if task.Finish < task.Launch {
+			t.Fatalf("task %d finishes before launch", task.ID)
+		}
+		if task.Launch < m.Start-1e-9 || task.Finish > m.End+1e-9 {
+			t.Fatalf("task %d outside phase bounds", task.ID)
+		}
+	}
+}
+
+func TestTimelineJSON(t *testing.T) {
+	tl := &metrics.Timeline{}
+	tl.Add(metrics.TaskRecord{ID: 1, Node: 2, Launch: 0.5, Finish: 1.5, Bytes: 100, Local: true})
+	var buf bytes.Buffer
+	if err := TimelineJSON(tl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var tasks []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0]["node"].(float64) != 2 || tasks[0]["local"] != true {
+		t.Fatalf("TimelineJSON = %v", tasks)
+	}
+}

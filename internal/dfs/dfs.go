@@ -1,0 +1,150 @@
+// Package dfs models an HDFS-like distributed file system for the
+// data-centric configuration: a NameNode block map plus DataNodes that
+// store blocks on node-local devices co-located with the compute
+// executors. The interesting behaviours for the paper's experiments are
+// block placement (which drives locality-aware scheduling) and the
+// local-versus-remote read paths.
+package dfs
+
+import (
+	"fmt"
+
+	"hpcmr/internal/netsim"
+	"hpcmr/internal/simclock"
+	"hpcmr/internal/storage"
+)
+
+// Config parameterizes the file system.
+type Config struct {
+	// BlockSize in bytes (128 MB in the paper's setup).
+	BlockSize float64
+	// Replication is the number of replicas per block.
+	Replication int
+}
+
+// DefaultConfig matches the paper's HDFS deployment: 128 MB blocks.
+// Replication is 2 — a common setting for scratch analytics data on
+// memory-backed storage where capacity is scarce.
+func DefaultConfig() Config {
+	return Config{BlockSize: 128 * 1 << 20, Replication: 2}
+}
+
+// Block is one block of a file with its replica locations.
+type Block struct {
+	File      string
+	Index     int
+	Size      float64
+	Locations []int
+}
+
+// FS is the simulated distributed file system.
+type FS struct {
+	sim    *simclock.Sim
+	fabric *netsim.Fabric
+	cfg    Config
+	devs   []storage.Device
+	files  map[string][]Block
+
+	localReads  int64
+	remoteReads int64
+}
+
+// New builds a DFS over the given per-node devices. devs[i] is node i's
+// local storage (typically RAMDisk or an SSD behind a write-back cache).
+func New(sim *simclock.Sim, fabric *netsim.Fabric, cfg Config, devs []storage.Device) *FS {
+	if len(devs) != fabric.Config().Nodes {
+		panic("dfs: need one device per fabric node")
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	return &FS{
+		sim:    sim,
+		fabric: fabric,
+		cfg:    cfg,
+		devs:   devs,
+		files:  make(map[string][]Block),
+	}
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// AddFile registers a pre-loaded file of the given size, splitting it
+// into blocks and placing replicas round-robin from the seed offset. It
+// models data already ingested before the job starts, so no I/O is
+// charged. It returns the block list.
+func (fs *FS) AddFile(name string, size float64, seed int) []Block {
+	n := len(fs.devs)
+	var blocks []Block
+	for i := 0; size > 0; i++ {
+		bs := fs.cfg.BlockSize
+		if bs > size {
+			bs = size
+		}
+		locs := make([]int, 0, fs.cfg.Replication)
+		for r := 0; r < fs.cfg.Replication && r < n; r++ {
+			locs = append(locs, (seed+i+r*7)%n)
+		}
+		blocks = append(blocks, Block{File: name, Index: i, Size: bs, Locations: locs})
+		size -= bs
+	}
+	fs.files[name] = blocks
+	return blocks
+}
+
+// Blocks returns the block list of a file, or nil.
+func (fs *FS) Blocks(name string) []Block { return fs.files[name] }
+
+// IsLocal reports whether node holds a replica of b.
+func (b *Block) IsLocal(node int) bool {
+	for _, l := range b.Locations {
+		if l == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Read reads block b from the given node. A local read streams from the
+// node's own device; a remote read streams from the first replica's
+// device and crosses the network, with device and network stages
+// overlapped (done fires when both finish).
+func (fs *FS) Read(node int, b Block, done func()) {
+	if b.IsLocal(node) {
+		fs.localReads++
+		fs.devs[node].Read(b.Size, done)
+		return
+	}
+	fs.remoteReads++
+	src := b.Locations[0]
+	remaining := 2
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	fs.devs[src].Read(b.Size, finish)
+	fs.fabric.Transfer(src, node, b.Size, finish)
+}
+
+// WriteLocal writes size bytes to node's local device — the path shuffle
+// intermediate data takes on the data-centric configuration.
+func (fs *FS) WriteLocal(node int, size float64, done func()) {
+	fs.devs[node].Write(size, done)
+}
+
+// Device returns node's local device.
+func (fs *FS) Device(node int) storage.Device { return fs.devs[node] }
+
+// LocalReads returns the count of locally served block reads.
+func (fs *FS) LocalReads() int64 { return fs.localReads }
+
+// RemoteReads returns the count of remotely served block reads.
+func (fs *FS) RemoteReads() int64 { return fs.remoteReads }
+
+// String summarizes placement for diagnostics.
+func (fs *FS) String() string {
+	return fmt.Sprintf("dfs{files=%d nodes=%d block=%.0fMB}", len(fs.files), len(fs.devs), fs.cfg.BlockSize/(1<<20))
+}

@@ -1,0 +1,160 @@
+package dfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpcmr/internal/netsim"
+	"hpcmr/internal/simclock"
+	"hpcmr/internal/storage"
+)
+
+func build(nodes int, cfg Config) (*simclock.Sim, *FS) {
+	sim := simclock.New()
+	fluid := simclock.NewFluid(sim)
+	ncfg := netsim.DefaultConfig(nodes)
+	ncfg.RequestOverhead = 0
+	ncfg.BaseLatency = 0
+	fab := netsim.New(sim, fluid, ncfg)
+	devs := make([]storage.Device, nodes)
+	for i := range devs {
+		devs[i] = storage.NewRAMDisk(fluid, "rd", 32e9)
+	}
+	return sim, New(sim, fab, cfg, devs)
+}
+
+func TestAddFileSplitsIntoBlocks(t *testing.T) {
+	_, fs := build(4, Config{BlockSize: 100, Replication: 2})
+	blocks := fs.AddFile("f", 350, 0)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(blocks))
+	}
+	var total float64
+	for _, b := range blocks {
+		total += b.Size
+		if len(b.Locations) != 2 {
+			t.Fatalf("replicas = %d, want 2", len(b.Locations))
+		}
+	}
+	if total != 350 {
+		t.Fatalf("total = %v, want 350", total)
+	}
+	if blocks[3].Size != 50 {
+		t.Fatalf("last block = %v, want 50", blocks[3].Size)
+	}
+}
+
+func TestBlockSizesSumProperty(t *testing.T) {
+	f := func(sizeU uint32, blockU uint16) bool {
+		size := float64(sizeU%1000000) + 1
+		block := float64(blockU%1000) + 1
+		_, fs := build(4, Config{BlockSize: block, Replication: 1})
+		blocks := fs.AddFile("f", size, 0)
+		var total float64
+		for _, b := range blocks {
+			total += b.Size
+			if b.Size <= 0 || b.Size > block {
+				return false
+			}
+		}
+		return math.Abs(total-size) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicasOnDistinctNodes(t *testing.T) {
+	_, fs := build(10, Config{BlockSize: 100, Replication: 3})
+	blocks := fs.AddFile("f", 1000, 3)
+	for _, b := range blocks {
+		seen := map[int]bool{}
+		for _, l := range b.Locations {
+			if seen[l] {
+				t.Fatalf("block %d has duplicate replica node %d", b.Index, l)
+			}
+			seen[l] = true
+			if l < 0 || l >= 10 {
+				t.Fatalf("replica node %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestLocalReadAvoidsNetwork(t *testing.T) {
+	sim, fs := build(2, Config{BlockSize: 1e9, Replication: 1})
+	blocks := fs.AddFile("f", 1e9, 0)
+	b := blocks[0]
+	node := b.Locations[0]
+	var end float64
+	fs.Read(node, b, func() { end = sim.Now() })
+	sim.Run()
+	// RAMDisk read at memory bandwidth.
+	want := 1e9 / storage.MemoryBandwidth
+	if math.Abs(end-want) > 1e-9 {
+		t.Fatalf("local read = %v, want %v", end, want)
+	}
+	if fs.LocalReads() != 1 || fs.RemoteReads() != 0 {
+		t.Fatalf("reads local=%d remote=%d", fs.LocalReads(), fs.RemoteReads())
+	}
+}
+
+func TestRemoteReadCrossesNetwork(t *testing.T) {
+	sim, fs := build(2, Config{BlockSize: 1e9, Replication: 1})
+	blocks := fs.AddFile("f", 1e9, 0)
+	b := blocks[0]
+	other := (b.Locations[0] + 1) % 2
+	var end float64
+	fs.Read(other, b, func() { end = sim.Now() })
+	sim.Run()
+	// Overlapped device read (1/3 s) and network transfer (1/4 s): max.
+	want := 1e9 / storage.MemoryBandwidth
+	if math.Abs(end-want) > 1e-6 {
+		t.Fatalf("remote read = %v, want %v", end, want)
+	}
+	if fs.RemoteReads() != 1 {
+		t.Fatalf("RemoteReads = %d, want 1", fs.RemoteReads())
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	b := Block{Locations: []int{2, 5}}
+	if !b.IsLocal(2) || !b.IsLocal(5) || b.IsLocal(3) {
+		t.Fatal("IsLocal misbehaves")
+	}
+}
+
+func TestWriteLocalChargesDevice(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	var end float64
+	fs.WriteLocal(1, 3e9, func() { end = sim.Now() })
+	sim.Run()
+	if math.Abs(end-1) > 1e-9 {
+		t.Fatalf("WriteLocal = %v, want 1 (3 GB at memory speed)", end)
+	}
+	if fs.Device(1).BytesWritten() != 3e9 {
+		t.Fatalf("device bytes = %v", fs.Device(1).BytesWritten())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BlockSize != 128*1<<20 {
+		t.Fatalf("BlockSize = %v, want 128 MB", cfg.BlockSize)
+	}
+}
+
+func TestPlacementSpreads(t *testing.T) {
+	_, fs := build(10, Config{BlockSize: 10, Replication: 1})
+	blocks := fs.AddFile("f", 1000, 0) // 100 blocks on 10 nodes
+	count := map[int]int{}
+	for _, b := range blocks {
+		count[b.Locations[0]]++
+	}
+	for n, c := range count {
+		if c != 10 {
+			t.Fatalf("node %d holds %d blocks, want 10 (round-robin)", n, c)
+		}
+	}
+}

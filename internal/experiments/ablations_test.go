@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+func TestAblationELBThreshold(t *testing.T) {
+	e := AblationELBThreshold(quick)
+	s := findSeries(t, e, "storing+shuffle")
+	if len(s.Y) != 4 {
+		t.Fatalf("points = %d, want 4 thresholds", len(s.Y))
+	}
+	for _, y := range s.Y {
+		if y <= 0 {
+			t.Fatalf("non-positive time: %v", s.Y)
+		}
+	}
+	if len(e.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+}
+
+func TestAblationCADMechanism(t *testing.T) {
+	e := AblationCADMechanism(quick)
+	s := e.Series[0]
+	if len(s.Y) != 4 {
+		t.Fatalf("points = %d, want 4 variants", len(s.Y))
+	}
+	ampBase, ampCAD := s.Y[0], s.Y[1]
+	flatBase, flatCAD := s.Y[2], s.Y[3]
+	// With amplification, CAD helps; without it, CAD's edge shrinks.
+	gainAmp := (ampBase - ampCAD) / ampBase
+	gainFlat := (flatBase - flatCAD) / flatBase
+	if gainAmp <= gainFlat {
+		t.Fatalf("amplification gain (%.2f) should exceed flat gain (%.2f): mechanism not ablated",
+			gainAmp, gainFlat)
+	}
+	// Removing amplification makes the baseline itself faster.
+	if flatBase >= ampBase {
+		t.Fatalf("flat baseline (%v) should beat amplified baseline (%v)", flatBase, ampBase)
+	}
+}
+
+func TestAblationLocalityWait(t *testing.T) {
+	e := AblationLocalityWait(quick)
+	s := findSeries(t, e, "grep job")
+	if len(s.Y) != 5 {
+		t.Fatalf("points = %d", len(s.Y))
+	}
+	// Longer waits never help: the 10 s point is at least as bad as 0.
+	if s.Y[4] < s.Y[0] {
+		t.Fatalf("10 s wait (%v) beat no wait (%v)", s.Y[4], s.Y[0])
+	}
+}
+
+func TestAblationFetchSize(t *testing.T) {
+	e := AblationFetchSize(quick)
+	s := findSeries(t, e, "shuffle")
+	// Tiny requests are the slowest; the 1 GB point the fastest (or tied).
+	if s.Y[0] <= s.Y[len(s.Y)-1] {
+		t.Fatalf("128 KiB (%v) should be slower than 1 GB (%v)", s.Y[0], s.Y[len(s.Y)-1])
+	}
+	// Monotone non-increasing within tolerance.
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]*1.1 {
+			t.Fatalf("shuffle time not decreasing with request size: %v", s.Y)
+		}
+	}
+}
+
+func TestAblationSSDFloor(t *testing.T) {
+	e := AblationSSDFloor(quick)
+	s := findSeries(t, e, "job@1.5TB")
+	// A better device (higher floor) is never slower.
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]*1.02 {
+			t.Fatalf("job time rose with a better GC floor: %v", s.Y)
+		}
+	}
+}
+
+func TestAblationsRegistered(t *testing.T) {
+	for _, id := range []string{"ablation-elb", "ablation-cad", "ablation-wait", "ablation-fetch", "ablation-ssdfloor"} {
+		if _, err := Lookup(id); err != nil {
+			t.Fatalf("%s not registered: %v", id, err)
+		}
+	}
+}

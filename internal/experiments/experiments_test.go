@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hpcmr/internal/metrics"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+func lastY(s *metrics.Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+func findSeries(t *testing.T, e *Experiment, label string) *metrics.Series {
+	t.Helper()
+	for _, s := range e.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found", e.ID, label)
+	return nil
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig5a", "fig5b", "fig7a", "fig7b",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9", "fig10", "fig12", "fig13a", "fig13b", "fig14",
+		"ablation-elb", "ablation-cad", "ablation-wait",
+		"ablation-fetch", "ablation-ssdfloor",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	if _, err := Lookup("fig7a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown id should fail")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	e := Table1(quick)
+	if len(e.Findings) < 8 {
+		t.Fatalf("Table1 findings = %d, want >= 8", len(e.Findings))
+	}
+	joined := strings.Join(e.Findings, "\n")
+	for _, want := range []string{"387", "47 GB/s", "128 MB"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	e := Fig5a(quick)
+	h32 := findSeries(t, e, "HDFS-32MB")
+	l32 := findSeries(t, e, "Lustre-32MB")
+	l128 := findSeries(t, e, "Lustre-128MB")
+	for i := range h32.Y {
+		if l32.Y[i] <= h32.Y[i] {
+			t.Fatalf("at %v GB: Lustre grep (%v) should be slower than HDFS (%v)",
+				h32.X[i], l32.Y[i], h32.Y[i])
+		}
+	}
+	// Larger splits help the Lustre configuration.
+	if lastY(l128) >= lastY(l32) {
+		t.Fatalf("128 MB split (%v) should beat 32 MB (%v) on Lustre", lastY(l128), lastY(l32))
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	e := Fig5b(quick)
+	h := findSeries(t, e, "HDFS-32MB")
+	l := findSeries(t, e, "Lustre-32MB")
+	// LR is compute-bound: the compute-centric config wins on average
+	// because delay scheduling idles the data-centric one.
+	var hSum, lSum float64
+	for i := range h.Y {
+		hSum += h.Y[i]
+		lSum += l.Y[i]
+	}
+	if lSum >= hSum {
+		t.Fatalf("Lustre LR total (%v) should beat HDFS with delay scheduling (%v)", lSum, hSum)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	e := Fig7a(quick)
+	h := findSeries(t, e, "HDFS-RAMDisk")
+	l := findSeries(t, e, "Lustre-local")
+	s := findSeries(t, e, "Lustre-shared")
+	for i := range h.Y {
+		if !(h.Y[i] < l.Y[i] && l.Y[i] < s.Y[i]) {
+			t.Fatalf("at %v GB: want HDFS (%v) < Lustre-local (%v) < Lustre-shared (%v)",
+				h.X[i], h.Y[i], l.Y[i], s.Y[i])
+		}
+	}
+	// The HDFS advantage grows with the data size.
+	first := l.Y[0] / h.Y[0]
+	last := lastY(l) / lastY(h)
+	if last <= first {
+		t.Fatalf("Lustre/HDFS gap should grow with size: first %.2fx, last %.2fx", first, last)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	e := Fig7b(quick)
+	shufL := findSeries(t, e, "shuffling-local")
+	shufS := findSeries(t, e, "shuffling-shared")
+	storeL := findSeries(t, e, "storing-local")
+	storeS := findSeries(t, e, "storing-shared")
+	for i := range shufL.Y {
+		if shufS.Y[i] <= shufL.Y[i] {
+			t.Fatalf("shared shuffle (%v) should exceed local (%v)", shufS.Y[i], shufL.Y[i])
+		}
+	}
+	// Storing phases comparable: within 2x of each other.
+	for i := range storeL.Y {
+		r := storeS.Y[i] / storeL.Y[i]
+		if r > 2 || r < 0.5 {
+			t.Fatalf("storing phases should be comparable, got ratio %.2fx", r)
+		}
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	e := Fig8a(quick)
+	rd := findSeries(t, e, "RAMDisk")
+	ssd := findSeries(t, e, "SSD")
+	// Comparable at the smallest size; SSD clearly worse at the largest
+	// common size.
+	if r := ssd.Y[0] / rd.Y[0]; r > 1.5 {
+		t.Fatalf("at 100 GB SSD/RAMDisk = %.2fx, want comparable (page cache)", r)
+	}
+	lastCommon := len(rd.Y) - 1
+	if r := ssd.Y[lastCommon] / rd.Y[lastCommon]; r < 1.3 {
+		t.Fatalf("at 1.2 TB SSD/RAMDisk = %.2fx, want RAMDisk substantially better", r)
+	}
+	if len(ssd.Y) <= len(rd.Y) {
+		t.Fatal("SSD series should extend beyond the RAMDisk capacity ceiling")
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	e := Fig8b(quick)
+	stor := findSeries(t, e, "storing")
+	// Storing grows superlinearly across the sweep.
+	if lastY(stor) <= stor.Y[0]*4 {
+		t.Fatalf("storing should blow up across the sweep: first %v, last %v", stor.Y[0], lastY(stor))
+	}
+}
+
+func TestFig8cShape(t *testing.T) {
+	e := Fig8c(quick)
+	s := findSeries(t, e, "max/min spread")
+	if lastY(s) < 4 {
+		t.Fatalf("spread at 1.5 TB = %.1fx, want wide variation (paper: 18x)", lastY(s))
+	}
+	if lastY(s) <= s.Y[0] {
+		t.Fatalf("spread should grow with data size: %v", s.Y)
+	}
+}
+
+func TestFig8dShape(t *testing.T) {
+	e := Fig8d(quick)
+	s := findSeries(t, e, "avg task time")
+	if len(s.Y) < 8 {
+		t.Fatalf("launch-order buckets = %d, want >= 8", len(s.Y))
+	}
+	if lastY(s) <= s.Y[0]*1.5 {
+		t.Fatalf("late tasks (%v) should be much slower than early (%v)", lastY(s), s.Y[0])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	e := Fig9(quick)
+	gOn := findSeries(t, e, "grep-delay")
+	gOff := findSeries(t, e, "grep-nodelay")
+	lOn := findSeries(t, e, "lr-delay")
+	lOff := findSeries(t, e, "lr-nodelay")
+	// Delay scheduling degrades both, worst at the smallest split.
+	if gOn.Y[0] <= gOff.Y[0] {
+		t.Fatalf("grep: delay (%v) should degrade vs no-delay (%v) at 32 MB", gOn.Y[0], gOff.Y[0])
+	}
+	if lOn.Y[0] <= lOff.Y[0] {
+		t.Fatalf("lr: delay (%v) should degrade vs no-delay (%v) at 32 MB", lOn.Y[0], lOff.Y[0])
+	}
+	// Grep (short tasks) suffers more than LR (long tasks), relatively.
+	gRel := gOn.Y[0]/gOff.Y[0] - 1
+	lRel := lOn.Y[0]/lOff.Y[0] - 1
+	if gRel <= lRel {
+		t.Fatalf("grep degradation (%.1f%%) should exceed LR (%.1f%%)", 100*gRel, 100*lRel)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	e := Fig10(quick)
+	avgL := findSeries(t, e, "local-avg")
+	avgR := findSeries(t, e, "remote-avg")
+	for i := range avgL.Y {
+		r := avgR.Y[i] / avgL.Y[i]
+		if r > 1.6 {
+			t.Fatalf("benchmark %d: remote/local = %.2fx, want near 1 (pipelined input)", i+1, r)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	e := Fig12(quick)
+	if len(e.Series) != 6 {
+		t.Fatalf("series = %d, want 6 (tasks+data for 3 runs)", len(e.Series))
+	}
+	data100 := findSeries(t, e, "dataGB-100n")
+	// Tail (p100) clearly above head (p5): skew-induced imbalance.
+	head, tail := data100.Y[0], lastY(data100)
+	if tail < head*1.4 {
+		t.Fatalf("intermediate imbalance tail/head = %.2fx, want > 1.4x", tail/head)
+	}
+	// CDF series must be nondecreasing.
+	for _, s := range e.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s: CDF not monotone: %v", s.Label, s.Y)
+			}
+		}
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	e := Fig13a(quick)
+	base := findSeries(t, e, "spark")
+	elb := findSeries(t, e, "elb")
+	// ELB wins at the largest size.
+	if lastY(elb) >= lastY(base) {
+		t.Fatalf("ELB (%v) should beat Spark (%v) at 1.5 TB", lastY(elb), lastY(base))
+	}
+}
+
+func TestFig13bShape(t *testing.T) {
+	e := Fig13b(quick)
+	base := findSeries(t, e, "spark")
+	elb := findSeries(t, e, "elb")
+	var bSum, eSum float64
+	for i := range base.Y {
+		bSum += base.Y[i]
+		eSum += elb.Y[i]
+	}
+	if eSum >= bSum {
+		t.Fatalf("ELB total (%v) should beat Spark (%v) under network bottleneck", eSum, bSum)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	e := Fig14(quick)
+	baseStore := findSeries(t, e, "spark-storing")
+	cadStore := findSeries(t, e, "cad-storing")
+	// CAD accelerates storing at large sizes.
+	if lastY(cadStore) >= lastY(baseStore) {
+		t.Fatalf("CAD storing (%v) should beat Spark (%v) at 1.5 TB", lastY(cadStore), lastY(baseStore))
+	}
+	// And does not hurt the small sizes much.
+	if cadStore.Y[0] > baseStore.Y[0]*1.3 {
+		t.Fatalf("CAD should not hurt small sizes: %v vs %v", cadStore.Y[0], baseStore.Y[0])
+	}
+}
+
+func TestExperimentString(t *testing.T) {
+	e := Table1(quick)
+	out := e.String()
+	if !strings.Contains(out, "table1") {
+		t.Fatalf("String missing id:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	e := &Experiment{ID: "x", Title: "t"}
+	s1 := &metrics.Series{Label: "a", XLabel: "GB", YLabel: "s"}
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := &metrics.Series{Label: "b", XLabel: "GB", YLabel: "s"}
+	s2.Add(1, 30)
+	e.Series = []*metrics.Series{s1, s2}
+	var buf strings.Builder
+	if err := e.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "GB,a,b\n1,10,30\n2,20,\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+	empty := &Experiment{ID: "e"}
+	var b2 strings.Builder
+	if err := empty.WriteCSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/core"
+	"hpcmr/internal/metrics"
+	"hpcmr/internal/sched"
+	"hpcmr/internal/workload"
+)
+
+// Fig14 — Congestion-Aware Dispatching on the SSD configuration:
+// throttled ShuffleMapTask dispatch relieves device congestion.
+func Fig14(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig14",
+		Title: "CAD vs Spark on SSD (paper: storing phase -41.2% avg for 700 GB-1.5 TB; job time -19.8% avg past 600 GB)",
+	}
+	sizes := []float64{
+		400 * workload.GB, 600 * workload.GB, 700 * workload.GB,
+		900 * workload.GB, 1200 * workload.GB, 1500 * workload.GB,
+	}
+	rigSpec := RigSpec{Device: cluster.SSDDevice}
+	mkJob := func(label string) *metrics.Series { return gbSeries(label) }
+	mkPhase := func(label string) *metrics.Series {
+		return &metrics.Series{Label: label, XLabel: "data GB", YLabel: "phase s"}
+	}
+	baseJob, cadJob := mkJob("spark"), mkJob("cad")
+	baseStore, cadStore := mkPhase("spark-storing"), mkPhase("cad-storing")
+	baseShuf, cadShuf := mkPhase("spark-shuffle"), mkPhase("cad-shuffle")
+	var storeImps, jobImps []float64
+	for _, size := range sizes {
+		sz := size * o.DataScale()
+		rig := NewRig(o, rigSpec)
+		b := rig.MustRun(workload.GroupBy(sz, o.Split(groupBySplit)), core.Policies{})
+		rig = NewRig(o, rigSpec)
+		v := rig.MustRun(workload.GroupBy(sz, o.Split(groupBySplit)), core.Policies{
+			Store: sched.NewCAD(sched.NewPinned()),
+		})
+		db, dv := b.Dissection(), v.Dissection()
+		x := size / workload.GB
+		baseJob.Add(x, b.JobTime)
+		cadJob.Add(x, v.JobTime)
+		baseStore.Add(x, db.Storing)
+		cadStore.Add(x, dv.Storing)
+		baseShuf.Add(x, db.Shuffle)
+		cadShuf.Add(x, dv.Shuffle)
+		if size >= 700*workload.GB {
+			storeImps = append(storeImps, metrics.Improvement(db.Storing, dv.Storing))
+			jobImps = append(jobImps, metrics.Improvement(b.JobTime, v.JobTime))
+		}
+	}
+	e.Series = []*metrics.Series{baseJob, cadJob, baseStore, cadStore, baseShuf, cadShuf}
+	e.addFinding("storing-phase improvement 700 GB-1.5 TB: avg %.1f%% (paper: 41.2%%)", 100*metrics.MeanOf(storeImps))
+	e.addFinding("job-time improvement 700 GB-1.5 TB: avg %.1f%% (paper: ~19.8%%)", 100*metrics.MeanOf(jobImps))
+	return e
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/core"
+	"hpcmr/internal/metrics"
+	"hpcmr/internal/workload"
+)
+
+// fig7Sizes are the intermediate-data sizes swept in Fig 7.
+var fig7Sizes = []float64{
+	100 * workload.GB, 200 * workload.GB, 400 * workload.GB,
+	600 * workload.GB, 800 * workload.GB, 1000 * workload.GB, 1200 * workload.GB,
+}
+
+// groupBySplit is the GroupBy split size used by the storage studies.
+const groupBySplit = 256 * workload.MB
+
+// runGroupByStore runs GroupBy with intermediate data on a store.
+func runGroupByStore(o Options, store core.StoreKind, size float64) *core.Result {
+	var rig *Rig
+	switch store {
+	case core.StoreLocal:
+		rig = NewRig(o, RigSpec{Device: cluster.RAMDiskDevice})
+	default:
+		rig = NewRig(o, RigSpec{Device: cluster.NoLocalDevice})
+	}
+	spec := workload.GroupBy(size, o.Split(groupBySplit))
+	spec.Store = store
+	return rig.MustRun(spec, core.Policies{})
+}
+
+// Fig7a — GroupBy job execution time with intermediate data on the
+// data-centric HDFS/RAMDisk store versus Lustre-local and Lustre-shared.
+func Fig7a(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig7a",
+		Title: "GroupBy intermediate data placement (paper: HDFS up to ~6.5x over Lustre-local, gap grows with size; Lustre-shared up to ~3.8x worse than Lustre-local)",
+	}
+	hdfs := gbSeries("HDFS-RAMDisk")
+	ll := gbSeries("Lustre-local")
+	ls := gbSeries("Lustre-shared")
+	var rLustreHDFS, rSharedLocal []float64
+	for _, size := range fig7Sizes {
+		sz := size * o.DataScale()
+		h := runGroupByStore(o, core.StoreLocal, sz)
+		l := runGroupByStore(o, core.StoreLustreLocal, sz)
+		s := runGroupByStore(o, core.StoreLustreShared, sz)
+		x := size / workload.GB
+		hdfs.Add(x, h.JobTime)
+		ll.Add(x, l.JobTime)
+		ls.Add(x, s.JobTime)
+		rLustreHDFS = append(rLustreHDFS, metrics.Ratio(l.JobTime, h.JobTime))
+		rSharedLocal = append(rSharedLocal, metrics.Ratio(s.JobTime, l.JobTime))
+	}
+	e.Series = []*metrics.Series{hdfs, ll, ls}
+	e.addFinding("Lustre-local/HDFS ratio: avg %.2fx, max %.2fx (paper: up to 6.5x, growing with size)",
+		metrics.MeanOf(rLustreHDFS), maxOf(rLustreHDFS))
+	e.addFinding("Lustre-shared/Lustre-local ratio: avg %.2fx, max %.2fx (paper: up to 3.8x)",
+		metrics.MeanOf(rSharedLocal), maxOf(rSharedLocal))
+	return e
+}
+
+// Fig7b — dissection of the Lustre cases: the storing phases are
+// comparable while Lustre-shared's shuffling phase collapses.
+func Fig7b(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig7b",
+		Title: "Dissection of Lustre-local vs Lustre-shared (paper: storing comparable; shared shuffling worse by up to an order of magnitude)",
+	}
+	mk := func(label string) *metrics.Series {
+		return &metrics.Series{Label: label, XLabel: "data GB", YLabel: "phase s"}
+	}
+	storeL, storeS := mk("storing-local"), mk("storing-shared")
+	shufL, shufS := mk("shuffling-local"), mk("shuffling-shared")
+	var shufRatio, storeRatio []float64
+	for _, size := range fig7Sizes[:5] {
+		sz := size * o.DataScale()
+		l := runGroupByStore(o, core.StoreLustreLocal, sz)
+		s := runGroupByStore(o, core.StoreLustreShared, sz)
+		dl, ds := l.Dissection(), s.Dissection()
+		x := size / workload.GB
+		storeL.Add(x, dl.Storing)
+		storeS.Add(x, ds.Storing)
+		shufL.Add(x, dl.Shuffle)
+		shufS.Add(x, ds.Shuffle)
+		shufRatio = append(shufRatio, metrics.Ratio(ds.Shuffle, dl.Shuffle))
+		storeRatio = append(storeRatio, metrics.Ratio(ds.Storing, dl.Storing))
+	}
+	e.Series = []*metrics.Series{storeL, storeS, shufL, shufS}
+	e.addFinding("shared/local shuffling-phase ratio: avg %.1fx, max %.1fx (paper: up to ~10x)",
+		metrics.MeanOf(shufRatio), maxOf(shufRatio))
+	e.addFinding("shared/local storing-phase ratio: avg %.2fx (paper: comparable)",
+		metrics.MeanOf(storeRatio))
+	return e
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/core"
+	"hpcmr/internal/metrics"
+	"hpcmr/internal/workload"
+)
+
+// fig8Sizes sweep the SSD study; the RAMDisk line stops at the paper's
+// observed 1.2 TB capacity ceiling.
+var fig8Sizes = []float64{
+	100 * workload.GB, 200 * workload.GB, 400 * workload.GB, 600 * workload.GB,
+	700 * workload.GB, 800 * workload.GB, 900 * workload.GB, 1000 * workload.GB,
+	1200 * workload.GB, 1500 * workload.GB,
+}
+
+// ramdiskCeiling is the largest intermediate size the RAMDisk-backed
+// configuration supported in the paper.
+const ramdiskCeiling = 1200 * workload.GB
+
+// runGroupByDevice runs GroupBy with local intermediate storage on the
+// given device kind.
+func runGroupByDevice(o Options, dev cluster.DeviceKind, size float64) *core.Result {
+	rig := NewRig(o, RigSpec{Device: dev})
+	spec := workload.GroupBy(size, o.Split(groupBySplit))
+	return rig.MustRun(spec, core.Policies{})
+}
+
+// Fig8a — GroupBy execution time with intermediate data on RAMDisk vs
+// SSD.
+func Fig8a(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig8a",
+		Title: "GroupBy intermediate on RAMDisk vs SSD (paper: comparable <= 600 GB via page cache; RAMDisk wins past 700 GB; SSD reaches larger sizes)",
+	}
+	rd := gbSeries("RAMDisk")
+	ssd := gbSeries("SSD")
+	var small, large []float64
+	for _, size := range fig8Sizes {
+		sz := size * o.DataScale()
+		s := runGroupByDevice(o, cluster.SSDDevice, sz)
+		x := size / workload.GB
+		ssd.Add(x, s.JobTime)
+		if size <= ramdiskCeiling {
+			r := runGroupByDevice(o, cluster.RAMDiskDevice, sz)
+			rd.Add(x, r.JobTime)
+			ratio := metrics.Ratio(s.JobTime, r.JobTime)
+			if size <= 600*workload.GB {
+				small = append(small, ratio)
+			} else {
+				large = append(large, ratio)
+			}
+		}
+	}
+	e.Series = []*metrics.Series{rd, ssd}
+	e.addFinding("SSD/RAMDisk ratio <= 600 GB: avg %.2fx (paper: comparable)", metrics.MeanOf(small))
+	e.addFinding("SSD/RAMDisk ratio > 700 GB: avg %.2fx (paper: RAMDisk substantially better)", metrics.MeanOf(large))
+	e.addFinding("RAMDisk line ends at %.0f GB (paper: capacity ceiling ~1.2 TB); SSD continues to 1.5 TB", ramdiskCeiling/workload.GB)
+	return e
+}
+
+// Fig8b — dissection of the SSD runs into compute/storing/shuffling.
+func Fig8b(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig8b",
+		Title: "SSD dissection (paper: shuffle network-bound <= 600 GB; storing grows 700-900 GB; sharp drop past 900 GB)",
+	}
+	mk := func(label string) *metrics.Series {
+		return &metrics.Series{Label: label, XLabel: "data GB", YLabel: "phase s"}
+	}
+	comp, stor, shuf := mk("compute"), mk("storing"), mk("shuffling")
+	var storeSmall, storeLarge float64
+	for _, size := range fig8Sizes {
+		sz := size * o.DataScale()
+		res := runGroupByDevice(o, cluster.SSDDevice, sz)
+		d := res.Dissection()
+		x := size / workload.GB
+		comp.Add(x, d.Compute)
+		stor.Add(x, d.Storing)
+		shuf.Add(x, d.Shuffle)
+		if size == 600*workload.GB {
+			storeSmall = d.Storing
+		}
+		if size == 1500*workload.GB {
+			storeLarge = d.Storing
+		}
+	}
+	e.Series = []*metrics.Series{comp, stor, shuf}
+	e.addFinding("storing phase grows %.1fx from 600 GB to 1.5 TB (paper: storing becomes the bottleneck)",
+		metrics.Ratio(storeLarge, storeSmall))
+	return e
+}
+
+// Fig8c — performance variation among ShuffleMapTasks writing to SSD:
+// max/min task-duration spread per data size.
+func Fig8c(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig8c",
+		Title: "ShuffleMapTask variation on SSD (paper: fastest-to-slowest gap up to ~18x at 1.5 TB)",
+	}
+	s := &metrics.Series{Label: "max/min spread", XLabel: "data GB", YLabel: "spread x"}
+	var last float64
+	for _, size := range []float64{600 * workload.GB, 900 * workload.GB, 1200 * workload.GB, 1500 * workload.GB} {
+		sz := size * o.DataScale()
+		res := runGroupByDevice(o, cluster.SSDDevice, sz)
+		tl := res.Iters[0].Store.Timeline
+		spread := tl.Spread()
+		s.Add(size/workload.GB, spread)
+		last = spread
+	}
+	e.Series = []*metrics.Series{s}
+	e.addFinding("spread at 1.5 TB: %.1fx (paper: up to 18x)", last)
+	return e
+}
+
+// Fig8d — execution times of all ShuffleMapTasks in the 1.5 TB case,
+// ordered by launch time and bucketed.
+func Fig8d(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "fig8d",
+		Title: "ShuffleMapTask time vs launch order at 1.5 TB (paper: fast early tasks; degradation mid-run as buffers fill; worst at the tail under GC)",
+	}
+	sz := 1500 * workload.GB * o.DataScale()
+	res := runGroupByDevice(o, cluster.SSDDevice, sz)
+	tl := res.Iters[0].Store.Timeline
+	tl.SortByLaunch()
+	const buckets = 16
+	s := &metrics.Series{Label: "avg task time", XLabel: "task index", YLabel: "task s"}
+	n := len(tl.Records)
+	for b := 0; b < buckets; b++ {
+		lo, hi := b*n/buckets, (b+1)*n/buckets
+		if lo >= hi {
+			continue
+		}
+		sum := 0.0
+		for _, r := range tl.Records[lo:hi] {
+			sum += r.Duration()
+		}
+		s.Add(float64((lo+hi)/2), sum/float64(hi-lo))
+	}
+	e.Series = []*metrics.Series{s}
+	if len(s.Y) >= 2 {
+		e.addFinding("tail-bucket/first-bucket task-time ratio: %.1fx (paper: late tasks far slower)",
+			metrics.Ratio(s.Y[len(s.Y)-1], s.Y[0]))
+	}
+	return e
+}

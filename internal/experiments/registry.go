@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one reproduced table/figure.
+type Runner func(Options) *Experiment
+
+// registry maps experiment IDs to their drivers in paper order.
+var registry = []struct {
+	ID  string
+	Run Runner
+}{
+	{"table1", Table1},
+	{"fig5a", Fig5a},
+	{"fig5b", Fig5b},
+	{"fig7a", Fig7a},
+	{"fig7b", Fig7b},
+	{"fig8a", Fig8a},
+	{"fig8b", Fig8b},
+	{"fig8c", Fig8c},
+	{"fig8d", Fig8d},
+	{"fig9", Fig9},
+	{"fig10", Fig10},
+	{"fig12", Fig12},
+	{"fig13a", Fig13a},
+	{"fig13b", Fig13b},
+	{"fig14", Fig14},
+	// Ablations beyond the paper: quantify the design choices the
+	// characterization rests on.
+	{"ablation-elb", AblationELBThreshold},
+	{"ablation-cad", AblationCADMechanism},
+	{"ablation-wait", AblationLocalityWait},
+	{"ablation-fetch", AblationFetchSize},
+	{"ablation-ssdfloor", AblationSSDFloor},
+}
+
+// IDs returns all experiment IDs in paper order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, r := range registry {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Lookup returns the driver for id, or an error listing valid IDs.
+func Lookup(id string) (Runner, error) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r.Run, nil
+		}
+	}
+	valid := IDs()
+	sort.Strings(valid)
+	return nil, fmt.Errorf("experiments: unknown id %q (valid: %v)", id, valid)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(o Options) []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r.Run(o))
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpcmr/internal/cluster"
+)
+
+// Table1 — the key configuration parameters of Table I and the
+// methodology section, as encoded by this repository's defaults.
+func Table1(o Options) *Experiment {
+	e := &Experiment{
+		ID:    "table1",
+		Title: "Key Spark/cluster configuration parameters (Table I + Section III-A)",
+	}
+	cfg := cluster.DefaultConfig(o.Nodes())
+	rows := []struct {
+		name, paper, here string
+	}{
+		{"spark.reducer.maxMbInFlight", "1 GB", fmt.Sprintf("%.0f MB fetch-request size", cfg.Net.RequestSize/1e6)},
+		{"spark.default.parallelism", "application dependent", "Reducers per JobSpec (default 1/node)"},
+		{"worker nodes", "100", fmt.Sprintf("%d", cfg.Nodes)},
+		{"cores per node", "16", fmt.Sprintf("%d", cfg.CoresPerNode)},
+		{"Spark memory per node", "30 GB", fmt.Sprintf("%.0f GB", cfg.SparkMemoryBytes/1e9)},
+		{"RAMDisk per node", "32 GB", fmt.Sprintf("%.0f GB", cfg.RAMDiskBytes/1e9)},
+		{"SSD write/read peak", "387/507 MB/s", fmt.Sprintf("%.0f/%.0f MB/s", cfg.SSD.WriteBandwidth/1e6, cfg.SSD.ReadBandwidth/1e6)},
+		{"interconnect", "IB QDR 32 Gb/s", fmt.Sprintf("%.0f Gb/s per NIC", cfg.Net.LinkBandwidth*8/1e9)},
+		{"Lustre aggregate bandwidth", "47 GB/s", "47 GB/s (scaled to cluster size)"},
+		{"HDFS block size", "128 MB", "128 MB"},
+	}
+	for _, r := range rows {
+		e.addFinding("%-28s paper: %-22s here: %s", r.name, r.paper, r.here)
+	}
+	return e
+}

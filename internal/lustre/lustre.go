@@ -1,0 +1,546 @@
+// Package lustre models a Lustre-like POSIX parallel file system as seen
+// from MapReduce clients on a compute-centric HPC system:
+//
+//   - a MetaData Server (MDS): a serialized FIFO service center charging
+//     a fixed cost per metadata operation (open, lookup, lock grant);
+//   - an Object Storage Server (OSS) pool: a single fluid resource with
+//     the aggregate backend bandwidth (47 GB/s on Hyperion), shared by
+//     every client flow;
+//   - per-client write-back caches: writes absorb into the writer node's
+//     cache at memory speed (buffered-write semantics) and drain to the
+//     OSSes in the background;
+//   - a Distributed Lock Manager (DLM): a file written by one client is
+//     covered by that client's write lock; a read from a *different*
+//     client forces revocation — metadata round-trips at the MDS plus a
+//     synchronous flush of the writer's remaining dirty data — before
+//     the read can be served from the OSSes. Reads arriving during a
+//     revocation queue behind it.
+//
+// This reproduces the paper's Lustre-local vs Lustre-shared shuffle
+// distinction (Fig 6/7): Lustre-local fetch requests are served by the
+// writer node from its own cache and cross the network once, while
+// Lustre-shared fetchers read remote-written files directly and trigger
+// cascading lock revocations and OSS/MDS contention.
+package lustre
+
+import (
+	"fmt"
+	"math"
+
+	"hpcmr/internal/netsim"
+	"hpcmr/internal/simclock"
+	"hpcmr/internal/storage"
+)
+
+// Config parameterizes the file system model.
+type Config struct {
+	// AggregateBandwidth is the OSS pool backend bandwidth in bytes/s.
+	AggregateBandwidth float64
+	// MDSServiceTime is the cost of one metadata operation in seconds.
+	MDSServiceTime float64
+	// RevokeMDSOps is the number of metadata round-trips a lock
+	// revocation costs at the MDS.
+	RevokeMDSOps int
+	// ClientCacheBytes is the per-node resident page cache: clean pages
+	// kept in client RAM that serve local reads at memory speed.
+	ClientCacheBytes float64
+	// DirtyLimitBytes bounds each client's un-flushed dirty pages
+	// (Lustre's max_dirty_mb aggregated over OSCs). Writes beyond it
+	// block on RPCs to the OSSes, so bulk writes run at the client's
+	// share of the OSS pool.
+	DirtyLimitBytes float64
+	// OverloadAlpha controls congestion collapse of the OSS pool: when
+	// the aggregate demanded bandwidth exceeds the peak, the effective
+	// pool bandwidth is peak*(demand/peak)^-alpha — RPC queueing, lock
+	// traffic and seek amplification under MapReduce-pattern concurrent
+	// access keep real deployments well below peak streaming numbers.
+	// Zero disables the collapse. Computation-throttled readers (an LR
+	// task consuming at its vector-math rate) contribute only their
+	// consumption rate to demand, so they do not congest the pool.
+	OverloadAlpha float64
+	// OverloadFloor bounds the collapse as a fraction of peak.
+	OverloadFloor float64
+	// WriteStreamDemand is the demanded bandwidth of one unthrottled
+	// client write-back stream.
+	WriteStreamDemand float64
+	// FetchStreamDemand is the demanded bandwidth of one unthrottled
+	// read stream (a shuffle FetchRequest).
+	FetchStreamDemand float64
+	// NumOSTs is the number of object storage targets the backend
+	// bandwidth is divided across; per-target hot-spotting emerges when
+	// several hot files share a target.
+	NumOSTs int
+	// StripeCount is how many OSTs each regular file stripes across
+	// (Lustre's default stripe_count is 1). Pre-ingested input data is
+	// always wide-striped across all targets.
+	StripeCount int
+}
+
+// DefaultConfig returns the Hyperion-like Lustre deployment: 47 GB/s
+// aggregate, sub-millisecond metadata operations.
+func DefaultConfig() Config {
+	return Config{
+		AggregateBandwidth: 47e9,
+		MDSServiceTime:     0.5e-3,
+		RevokeMDSOps:       4,
+		ClientCacheBytes:   24e9,
+		DirtyLimitBytes:    1.5e9,
+		OverloadAlpha:      0.65,
+		OverloadFloor:      0.10,
+		WriteStreamDemand:  300e6,
+		FetchStreamDemand:  1e9,
+		NumOSTs:            32,
+		StripeCount:        1,
+	}
+}
+
+// FS is a simulated Lustre file system mounted on every node of a fabric.
+type FS struct {
+	sim    *simclock.Sim
+	fluid  *simclock.Fluid
+	fabric *netsim.Fabric
+	cfg    Config
+
+	osts      []*simclock.Res
+	ostDemand []float64
+	mds       *simclock.Server
+	caches    []*clientCache
+	nextOST   int // rotor for wide-striped (ingest) traffic
+
+	files map[string]*File
+
+	mdsOps      int64
+	revocations int64
+}
+
+// File is a file in the simulated file system. The model supports the
+// MapReduce access pattern: a single writer node, any number of readers.
+// Each file is striped across StripeCount object storage targets,
+// chosen deterministically from its name.
+type File struct {
+	fs      *FS
+	name    string
+	writer  int
+	size    float64
+	stripes []int
+	rotor   int
+
+	revoking bool
+	revoked  bool
+	waiters  []func()
+}
+
+// nextStripe rotates through the file's stripe set.
+func (f *File) nextStripe() int {
+	s := f.stripes[f.rotor%len(f.stripes)]
+	f.rotor++
+	return s
+}
+
+// clientCache is a node's cache of Lustre pages: a small dirty window
+// (write-back) plus a large resident pool of clean pages for reads.
+type clientCache struct {
+	fs           *FS
+	node         int
+	mem          *simclock.Res
+	capacity     float64 // resident (clean) cache bytes
+	dirtyLimit   float64 // max un-flushed dirty bytes
+	totalWritten float64
+	dirtyByFile  map[*File]float64
+	dirtyTotal   float64
+	flushing     bool
+}
+
+// New mounts a Lustre FS on all nodes of fabric.
+func New(sim *simclock.Sim, fluid *simclock.Fluid, fabric *netsim.Fabric, cfg Config) *FS {
+	if cfg.NumOSTs < 1 {
+		cfg.NumOSTs = 1
+	}
+	if cfg.StripeCount < 1 {
+		cfg.StripeCount = 1
+	}
+	if cfg.StripeCount > cfg.NumOSTs {
+		cfg.StripeCount = cfg.NumOSTs
+	}
+	fs := &FS{
+		sim:       sim,
+		fluid:     fluid,
+		fabric:    fabric,
+		cfg:       cfg,
+		osts:      make([]*simclock.Res, cfg.NumOSTs),
+		ostDemand: make([]float64, cfg.NumOSTs),
+		mds:       simclock.NewServer(sim),
+		files:     make(map[string]*File),
+	}
+	per := cfg.AggregateBandwidth / float64(cfg.NumOSTs)
+	for i := range fs.osts {
+		fs.osts[i] = fluid.NewRes(fmt.Sprintf("lustre/ost%d", i), per)
+	}
+	n := fabric.Config().Nodes
+	fs.caches = make([]*clientCache, n)
+	for i := 0; i < n; i++ {
+		fs.caches[i] = &clientCache{
+			fs:          fs,
+			node:        i,
+			mem:         fluid.NewRes(fmt.Sprintf("lustre/cc%d", i), storage.MemoryBandwidth),
+			capacity:    cfg.ClientCacheBytes,
+			dirtyLimit:  cfg.DirtyLimitBytes,
+			dirtyByFile: make(map[*File]float64),
+		}
+	}
+	return fs
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// MDSOps returns the number of metadata operations served.
+func (fs *FS) MDSOps() int64 { return fs.mdsOps }
+
+// Revocations returns the number of lock revocations performed.
+func (fs *FS) Revocations() int64 { return fs.revocations }
+
+// MDSQueueDelay returns the current metadata queueing delay.
+func (fs *FS) MDSQueueDelay() float64 { return fs.mds.QueueDelay() }
+
+// mdsOp submits one metadata operation and calls done when served.
+func (fs *FS) mdsOp(done func()) {
+	fs.mdsOps++
+	fs.mds.Submit(fs.cfg.MDSServiceTime, done)
+}
+
+// retuneOST recomputes one target's effective bandwidth from its
+// demand.
+func (fs *FS) retuneOST(i int) {
+	peak := fs.cfg.AggregateBandwidth / float64(len(fs.osts))
+	cap := peak
+	if fs.cfg.OverloadAlpha > 0 && fs.ostDemand[i] > peak && peak > 0 {
+		cap = peak * math.Pow(fs.ostDemand[i]/peak, -fs.cfg.OverloadAlpha)
+		if floor := fs.cfg.OverloadFloor * peak; cap < floor {
+			cap = floor
+		}
+	}
+	fs.osts[i].SetCapacity(cap)
+}
+
+// ossFlow runs a transfer through one object storage target,
+// registering its demanded bandwidth for the congestion model.
+func (fs *FS) ossFlow(size, demand float64, done func(), ost int, extra ...*simclock.Res) {
+	fs.ostDemand[ost] += demand
+	fs.retuneOST(ost)
+	res := append([]*simclock.Res{fs.osts[ost]}, extra...)
+	fs.fluid.Start(size, func() {
+		fs.ostDemand[ost] -= demand
+		if fs.ostDemand[ost] < 0 {
+			fs.ostDemand[ost] = 0
+		}
+		fs.retuneOST(ost)
+		if done != nil {
+			done()
+		}
+	}, res...)
+}
+
+// wideStripe rotates ingest traffic across all targets.
+func (fs *FS) wideStripe() int {
+	s := fs.nextOST % len(fs.osts)
+	fs.nextOST++
+	return s
+}
+
+// EffectiveOSSBandwidth returns the pool's current effective aggregate
+// bandwidth (the sum over targets).
+func (fs *FS) EffectiveOSSBandwidth() float64 {
+	total := 0.0
+	for _, o := range fs.osts {
+		total += o.Capacity()
+	}
+	return total
+}
+
+// NumOSTs returns the number of object storage targets.
+func (fs *FS) NumOSTs() int { return len(fs.osts) }
+
+// Create opens a new file for writing by node. It costs one metadata
+// operation which overlaps with subsequent I/O (the returned file is
+// usable immediately; the MDS op only adds queue load). The file's
+// stripe set is chosen deterministically from its name.
+func (fs *FS) Create(node int, name string) *File {
+	f := &File{fs: fs, name: name, writer: node, stripes: fs.stripeSet(name)}
+	fs.files[name] = f
+	fs.mdsOp(nil)
+	return f
+}
+
+// stripeSet picks StripeCount consecutive targets starting at a
+// name-derived offset (FNV-1a).
+func (fs *FS) stripeSet(name string) []int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	n := len(fs.osts)
+	start := int(h % uint32(n))
+	set := make([]int, fs.cfg.StripeCount)
+	for i := range set {
+		set[i] = (start + i) % n
+	}
+	return set
+}
+
+// Lookup returns a previously created file, or nil.
+func (fs *FS) Lookup(name string) *File { return fs.files[name] }
+
+// Write appends size bytes to f from its writer node. Buffered-write
+// semantics: done fires when the data is in the client cache (or has
+// written through to the OSSes when the cache is full).
+func (fs *FS) Write(f *File, size float64, done func()) {
+	cc := fs.caches[f.writer]
+	f.size += size
+
+	// Writes absorb at memory speed only inside the dirty window; the
+	// rest blocks on RPCs to the OSS pool.
+	absorb := cc.dirtyLimit - cc.dirtyTotal
+	cc.totalWritten += size
+	if absorb < 0 {
+		absorb = 0
+	}
+	if absorb > size {
+		absorb = size
+	}
+	through := size - absorb
+
+	parts := 0
+	if absorb > 0 {
+		parts++
+	}
+	if through > 0 {
+		parts++
+	}
+	if parts == 0 {
+		fs.sim.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	remaining := parts
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	if absorb > 0 {
+		cc.dirtyByFile[f] += absorb
+		cc.dirtyTotal += absorb
+		fs.fluid.Start(absorb, func() {
+			cc.kickFlusher()
+			finish()
+		}, cc.mem)
+	}
+	if through > 0 {
+		fs.ossFlow(through, fs.cfg.WriteStreamDemand, finish, f.nextStripe(), fs.fabric.NIC(f.writer))
+	}
+}
+
+// resident returns the bytes currently held in the cache. Clean pages
+// are retained (they serve local reads) up to capacity; an LRU model is
+// approximated by capping at capacity.
+func (cc *clientCache) resident() float64 {
+	r := cc.totalWritten
+	if r > cc.capacity {
+		r = cc.capacity
+	}
+	return r
+}
+
+// residentFraction is the fraction of this node's written data that is
+// still cached, assuming uniform access.
+func (cc *clientCache) residentFraction() float64 {
+	if cc.totalWritten <= 0 || cc.capacity >= cc.totalWritten {
+		return 1
+	}
+	return cc.capacity / cc.totalWritten
+}
+
+// flushChunk is the granularity of background write-back.
+const flushChunk = 256e6
+
+// kickFlusher starts the node's background write-back loop.
+func (cc *clientCache) kickFlusher() {
+	if cc.flushing || cc.dirtyTotal <= 0 {
+		return
+	}
+	cc.flushing = true
+	cc.flushNext()
+}
+
+func (cc *clientCache) flushNext() {
+	// Pick any file with dirty pages (deterministic: the largest).
+	var target *File
+	var max float64
+	for f, d := range cc.dirtyByFile {
+		if d > max {
+			max, target = d, f
+		}
+	}
+	if target == nil {
+		cc.flushing = false
+		return
+	}
+	chunk := max
+	if chunk > flushChunk {
+		chunk = flushChunk
+	}
+	cc.fs.ossFlow(chunk, cc.fs.cfg.WriteStreamDemand, func() {
+		cc.drain(target, chunk)
+		cc.flushNext()
+	}, target.nextStripe(), cc.fs.fabric.NIC(cc.node))
+}
+
+// drain removes flushed bytes from the dirty accounting.
+func (cc *clientCache) drain(f *File, bytes float64) {
+	d := cc.dirtyByFile[f] - bytes
+	if d <= 1e-9 {
+		delete(cc.dirtyByFile, f)
+		d = 0
+	} else {
+		cc.dirtyByFile[f] = d
+	}
+	cc.dirtyTotal -= bytes
+	if cc.dirtyTotal < 0 {
+		cc.dirtyTotal = 0
+	}
+}
+
+// ReadLocal reads size bytes of f from its writer node: the resident
+// fraction is served from the client cache at memory speed, the rest
+// from the OSSes. No lock traffic — the reader owns the write lock.
+func (fs *FS) ReadLocal(f *File, size float64, done func()) {
+	cc := fs.caches[f.writer]
+	hit := size * cc.residentFraction()
+	miss := size - hit
+	parts := 0
+	if hit > 0 {
+		parts++
+	}
+	if miss > 0 {
+		parts++
+	}
+	if parts == 0 {
+		fs.sim.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	remaining := parts
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	if hit > 0 {
+		fs.fluid.Start(hit, finish, cc.mem)
+	}
+	if miss > 0 {
+		fs.ossFlow(miss, fs.cfg.FetchStreamDemand, finish, f.nextStripe(), fs.fabric.NIC(f.writer))
+	}
+}
+
+// ReadRemote reads size bytes of f from a node other than its writer.
+// If the writer still holds dirty pages for f, the DLM first revokes the
+// write lock: metadata round-trips at the MDS, then a synchronous flush
+// of the remaining dirty data to the OSSes. Reads arriving mid-revocation
+// queue behind it. After revocation (or for clean files) the read pays a
+// metadata lookup and streams from the OSSes across the reader's NIC.
+func (fs *FS) ReadRemote(reader int, f *File, size float64, done func()) {
+	serve := func() {
+		fs.mdsOp(func() {
+			fs.ossFlow(size, fs.cfg.FetchStreamDemand, done, f.nextStripe(), fs.fabric.NIC(reader))
+		})
+	}
+	cc := fs.caches[f.writer]
+	dirty := cc.dirtyByFile[f]
+	switch {
+	case f.revoked || (dirty <= 0 && !f.revoking):
+		serve()
+	case f.revoking:
+		f.waiters = append(f.waiters, serve)
+	default:
+		fs.revoke(f, cc, dirty, serve)
+	}
+}
+
+// revoke performs the lock revocation for f and then releases waiters.
+func (fs *FS) revoke(f *File, cc *clientCache, dirty float64, first func()) {
+	fs.revocations++
+	f.revoking = true
+	f.waiters = append(f.waiters, first)
+	ops := fs.cfg.RevokeMDSOps
+	if ops < 1 {
+		ops = 1
+	}
+	for i := 0; i < ops-1; i++ {
+		fs.mdsOp(nil)
+	}
+	fs.mdsOp(func() {
+		// Forced flush of the writer's remaining dirty pages for f.
+		fs.ossFlow(dirty, fs.cfg.WriteStreamDemand, func() {
+			cc.drain(f, dirty)
+			f.revoking = false
+			f.revoked = true
+			waiters := f.waiters
+			f.waiters = nil
+			for _, w := range waiters {
+				w()
+			}
+		}, f.nextStripe(), fs.fabric.NIC(f.writer))
+	})
+}
+
+// ReadIngest reads size bytes of pre-loaded input data (ingested before
+// the job, clean) from the OSS pool into node. Each call pays the
+// open/lock metadata round-trips at the MDS, overlapped with the data
+// streams of earlier requests. consumeRate > 0 applies consumer
+// back-pressure: the stream never runs faster than the reading task can
+// process it, so computation-throttled readers (LR) do not congest the
+// OSS pool the way full-speed scanners (Grep) do.
+func (fs *FS) ReadIngest(node int, size float64, consumeRate float64, done func()) {
+	// Open + lock grant round-trips.
+	fs.mdsOp(nil)
+	fs.mdsOp(func() {
+		demand := fs.cfg.FetchStreamDemand
+		extra := []*simclock.Res{fs.fabric.NIC(node)}
+		if consumeRate > 0 {
+			demand = consumeRate
+			extra = append(extra, fs.fluid.NewRes("ingest-cap", consumeRate))
+		}
+		fs.ossFlow(size, demand, done, fs.wideStripe(), extra...)
+	})
+}
+
+// Dirty returns the writer-cached dirty bytes of f (for tests).
+func (f *File) Dirty() float64 {
+	return f.fs.caches[f.writer].dirtyByFile[f]
+}
+
+// Size returns the file size.
+func (f *File) Size() float64 { return f.size }
+
+// Writer returns the writing node.
+func (f *File) Writer() int { return f.writer }
+
+// Revoked reports whether the write lock has been revoked.
+func (f *File) Revoked() bool { return f.revoked }
+
+// NodeDirty returns the total dirty bytes cached on a node.
+func (fs *FS) NodeDirty(node int) float64 { return fs.caches[node].dirtyTotal }
+
+// OST returns one target's resource (for tests).
+func (fs *FS) OST(i int) *simclock.Res { return fs.osts[i] }

@@ -1,0 +1,216 @@
+package lustre
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hpcmr/internal/netsim"
+	"hpcmr/internal/simclock"
+)
+
+func build(nodes int, cfg Config) (*simclock.Sim, *FS) {
+	sim := simclock.New()
+	fluid := simclock.NewFluid(sim)
+	ncfg := netsim.DefaultConfig(nodes)
+	ncfg.RequestOverhead = 0
+	ncfg.BaseLatency = 0
+	fab := netsim.New(sim, fluid, ncfg)
+	return sim, New(sim, fluid, fab, cfg)
+}
+
+func TestBufferedWriteIsFast(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "shuffle_0")
+	var end float64
+	fs.Write(f, 1e9, func() { end = sim.Now() })
+	sim.RunUntil(1)
+	if end == 0 || end > 1e9/1e9 {
+		// 1 GB absorbed at 3 GB/s memory speed: ~0.33 s.
+		t.Fatalf("buffered write end = %v, want ~0.33 (memory speed)", end)
+	}
+}
+
+func TestWriteThroughWhenDirtyWindowFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DirtyLimitBytes = 1e9
+	sim, fs := build(2, cfg)
+	f := fs.Create(0, "f")
+	var first, second float64
+	fs.Write(f, 1e9, func() {
+		first = sim.Now()
+		// Issue the second write while the dirty window is still
+		// (mostly) full: it must write through at OSS speed.
+		fs.Write(f, 1e9, func() { second = sim.Now() - first })
+	})
+	sim.Run()
+	if second <= first {
+		t.Fatalf("write-through (%v) should be slower than absorbed (%v)", second, first)
+	}
+}
+
+func TestBackgroundFlushDrainsDirty(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "f")
+	fs.Write(f, 2e9, nil)
+	sim.Run()
+	if d := f.Dirty(); d != 0 {
+		t.Fatalf("dirty = %v after quiesce, want 0", d)
+	}
+	if fs.NodeDirty(0) != 0 {
+		t.Fatalf("node dirty = %v, want 0", fs.NodeDirty(0))
+	}
+}
+
+func TestLocalReadHitsCache(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "f")
+	fs.Write(f, 1e9, nil)
+	sim.Run()
+	start := sim.Now()
+	var end float64
+	fs.ReadLocal(f, 1e9, func() { end = sim.Now() - start })
+	sim.Run()
+	// Fully resident: memory speed, ~0.33 s; an OSS read would be slower
+	// and would queue metadata.
+	if end > 0.5 {
+		t.Fatalf("local read took %v, want memory-speed", end)
+	}
+	if fs.Revocations() != 0 {
+		t.Fatal("local read must not revoke locks")
+	}
+}
+
+func TestRemoteReadTriggersRevocation(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "f")
+	fs.Write(f, 1e9, func() {
+		// Read from node 1 while node 0 still holds dirty pages.
+		fs.ReadRemote(1, f, 1e9, nil)
+	})
+	sim.Run()
+	if fs.Revocations() != 1 {
+		t.Fatalf("Revocations = %d, want 1", fs.Revocations())
+	}
+	if !f.Revoked() {
+		t.Fatal("file should be marked revoked")
+	}
+	if f.Dirty() != 0 {
+		t.Fatalf("dirty = %v after revocation flush, want 0", f.Dirty())
+	}
+}
+
+func TestRemoteReadOfCleanFileNoRevocation(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "f")
+	fs.Write(f, 1e9, nil)
+	sim.Run() // background flush completes; file clean
+	fs.ReadRemote(1, f, 1e9, nil)
+	sim.Run()
+	if fs.Revocations() != 0 {
+		t.Fatalf("Revocations = %d, want 0 for clean file", fs.Revocations())
+	}
+}
+
+func TestConcurrentRemoteReadsQueueBehindRevocation(t *testing.T) {
+	sim, fs := build(3, DefaultConfig())
+	f := fs.Create(0, "f")
+	served := 0
+	fs.Write(f, 2e9, func() {
+		fs.ReadRemote(1, f, 1e8, func() { served++ })
+		fs.ReadRemote(2, f, 1e8, func() { served++ })
+	})
+	sim.Run()
+	if fs.Revocations() != 1 {
+		t.Fatalf("Revocations = %d, want exactly 1 (second read queues)", fs.Revocations())
+	}
+	if served != 2 {
+		t.Fatalf("served = %d, want 2", served)
+	}
+}
+
+func TestRemoteReadSlowerThanLocalWhenDirty(t *testing.T) {
+	timeRead := func(remote bool) float64 {
+		sim, fs := build(2, DefaultConfig())
+		f := fs.Create(0, "f")
+		var start, end float64
+		fs.Write(f, 4e9, func() {
+			start = sim.Now()
+			if remote {
+				fs.ReadRemote(1, f, 4e9, func() { end = sim.Now() - start })
+			} else {
+				fs.ReadLocal(f, 4e9, func() { end = sim.Now() - start })
+			}
+		})
+		sim.Run()
+		return end
+	}
+	local := timeRead(false)
+	remote := timeRead(true)
+	if remote <= local {
+		t.Fatalf("remote-dirty read (%v) should be slower than local (%v)", remote, local)
+	}
+}
+
+func TestMDSQueueingUnderOpenStorm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MDSServiceTime = 1e-3
+	sim, fs := build(4, cfg)
+	for i := 0; i < 1000; i++ {
+		fs.Create(0, fmt.Sprintf("f%d", i))
+	}
+	if d := fs.MDSQueueDelay(); math.Abs(d-1.0) > 1e-9 {
+		t.Fatalf("MDS queue delay = %v, want 1.0 (1000 ops x 1 ms)", d)
+	}
+	sim.Run()
+	if fs.MDSOps() != 1000 {
+		t.Fatalf("MDSOps = %d, want 1000", fs.MDSOps())
+	}
+}
+
+func TestOSSBandwidthShared(t *testing.T) {
+	// Two write-through streams on different nodes share the OSS pool.
+	cfg := DefaultConfig()
+	cfg.DirtyLimitBytes = 0 // force write-through
+	cfg.OverloadAlpha = 0   // disable congestion collapse: pure sharing
+	cfg.NumOSTs = 1         // one target so both streams share it
+	cfg.AggregateBandwidth = 100
+	sim, fs := build(3, cfg)
+	// Make NICs not the bottleneck.
+	var ends []float64
+	fa := fs.Create(0, "a")
+	fb := fs.Create(1, "b")
+	fs.Write(fa, 100, func() { ends = append(ends, sim.Now()) })
+	fs.Write(fb, 100, func() { ends = append(ends, sim.Now()) })
+	sim.Run()
+	for _, e := range ends {
+		if math.Abs(e-2) > 1e-6 {
+			t.Fatalf("ends = %v, want both ~2 (200 B over 100 B/s OSS pool)", ends)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	_, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "x")
+	if fs.Lookup("x") != f {
+		t.Fatal("Lookup failed")
+	}
+	if fs.Lookup("y") != nil {
+		t.Fatal("Lookup of missing file should be nil")
+	}
+	if f.Writer() != 0 {
+		t.Fatalf("Writer = %d", f.Writer())
+	}
+}
+
+func TestFileSizeAccumulates(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	f := fs.Create(0, "f")
+	fs.Write(f, 100, nil)
+	fs.Write(f, 200, nil)
+	sim.Run()
+	if f.Size() != 300 {
+		t.Fatalf("Size = %v, want 300", f.Size())
+	}
+}

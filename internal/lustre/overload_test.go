@@ -1,0 +1,136 @@
+package lustre
+
+import (
+	"testing"
+)
+
+func TestIngestPaysMetadataOps(t *testing.T) {
+	sim, fs := build(2, DefaultConfig())
+	before := fs.MDSOps()
+	fs.ReadIngest(0, 1e6, 0, nil)
+	sim.Run()
+	if got := fs.MDSOps() - before; got != 2 {
+		t.Fatalf("ingest MDS ops = %d, want 2 (open + lock)", got)
+	}
+}
+
+func TestIngestBackPressure(t *testing.T) {
+	// A consumer-throttled stream takes size/rate, regardless of the
+	// pool's headroom.
+	cfg := DefaultConfig()
+	sim, fs := build(2, cfg)
+	start := sim.Now()
+	var end float64
+	fs.ReadIngest(0, 100e6, 50e6, func() { end = sim.Now() - start })
+	sim.Run()
+	mdsDelay := 2 * cfg.MDSServiceTime
+	want := 2.0 + mdsDelay
+	if end < want-1e-6 || end > want+0.01 {
+		t.Fatalf("capped ingest took %v, want ~%v (100 MB at 50 MB/s)", end, want)
+	}
+}
+
+func TestUnthrottledIngestFasterThanCapped(t *testing.T) {
+	run := func(cap float64) float64 {
+		sim, fs := build(2, DefaultConfig())
+		var end float64
+		fs.ReadIngest(0, 1e9, cap, func() { end = sim.Now() })
+		sim.Run()
+		return end
+	}
+	free := run(0)
+	capped := run(10e6)
+	if free >= capped {
+		t.Fatalf("uncapped ingest (%v) should beat a 10 MB/s cap (%v)", free, capped)
+	}
+}
+
+func TestOverloadCollapsesPool(t *testing.T) {
+	// Demand far beyond peak collapses effective bandwidth; the same
+	// total demanded below peak does not.
+	cfg := DefaultConfig()
+	cfg.AggregateBandwidth = 1e9
+	cfg.FetchStreamDemand = 1e9 // each unthrottled stream demands peak
+	sim, fs := build(4, cfg)
+	done := 0
+	// Four unthrottled streams: demand 4x peak -> collapse.
+	for n := 0; n < 4; n++ {
+		fs.ReadIngest(n, 1e9, 0, func() { done++ })
+	}
+	sim.Run()
+	collapsed := sim.Now()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if fs.EffectiveOSSBandwidth() != 1e9 {
+		t.Fatalf("pool should recover to peak when idle, got %v", fs.EffectiveOSSBandwidth())
+	}
+	// The same 4 GB with back-pressured streams (demand == fair share).
+	sim2, fs2 := build(4, cfg)
+	done = 0
+	for n := 0; n < 4; n++ {
+		fs2.ReadIngest(n, 1e9, 0.25e9, func() { done++ })
+	}
+	sim2.Run()
+	polite := sim2.Now()
+	if polite >= collapsed {
+		t.Fatalf("back-pressured readers (%v) should finish before congestion-collapsed ones (%v)",
+			polite, collapsed)
+	}
+}
+
+func TestOverloadFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AggregateBandwidth = 1e9
+	cfg.OverloadFloor = 0.5
+	cfg.FetchStreamDemand = 100e9 // absurd demand per stream
+	sim, fs := build(2, cfg)
+	var observed float64
+	fs.ReadIngest(0, 1e6, 0, nil)
+	sim.RunUntil(0.001)
+	sim.Step()
+	observed = fs.EffectiveOSSBandwidth()
+	sim.Run()
+	if observed < 0.5e9-1 {
+		t.Fatalf("effective bandwidth %v fell below the floor", observed)
+	}
+}
+
+func TestOverloadDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OverloadAlpha = 0
+	cfg.AggregateBandwidth = 1e9
+	cfg.FetchStreamDemand = 100e9
+	sim, fs := build(2, cfg)
+	fs.ReadIngest(0, 1e6, 0, nil)
+	sim.RunUntil(0.001)
+	if fs.EffectiveOSSBandwidth() != 1e9 {
+		t.Fatalf("alpha=0 must disable collapse, got %v", fs.EffectiveOSSBandwidth())
+	}
+	sim.Run()
+}
+
+func TestDemandAccountingBalanced(t *testing.T) {
+	// After all flows drain, demand returns to zero and capacity to
+	// peak.
+	cfg := DefaultConfig()
+	sim, fs := build(3, cfg)
+	for i := 0; i < 10; i++ {
+		fs.ReadIngest(i%3, 1e8, 0, nil)
+		f := fs.Create(i%3, fileName(i))
+		fs.Write(f, 5e9, nil) // exceeds dirty window -> OSS flows
+	}
+	sim.Run()
+	for i, d := range fs.ostDemand {
+		if d != 0 {
+			t.Fatalf("residual demand %v on OST %d after quiesce", d, i)
+		}
+	}
+	if fs.EffectiveOSSBandwidth() != cfg.AggregateBandwidth {
+		t.Fatalf("capacity %v, want peak", fs.EffectiveOSSBandwidth())
+	}
+}
+
+func fileName(i int) string {
+	return string(rune('a'+i%26)) + "file"
+}

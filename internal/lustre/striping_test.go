@@ -1,0 +1,115 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStripeSetDeterministic(t *testing.T) {
+	_, fs := build(2, DefaultConfig())
+	a := fs.stripeSet("shuffle/n0")
+	b := fs.stripeSet("shuffle/n0")
+	if len(a) != 1 || a[0] != b[0] {
+		t.Fatalf("stripe sets differ for equal names: %v vs %v", a, b)
+	}
+	if a[0] < 0 || a[0] >= fs.NumOSTs() {
+		t.Fatalf("stripe %d out of range", a[0])
+	}
+}
+
+func TestStripeCountClamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumOSTs = 4
+	cfg.StripeCount = 99
+	_, fs := build(2, cfg)
+	set := fs.stripeSet("x")
+	if len(set) != 4 {
+		t.Fatalf("stripe count = %d, want clamped to 4", len(set))
+	}
+	seen := map[int]bool{}
+	for _, s := range set {
+		if seen[s] {
+			t.Fatalf("duplicate stripe in %v", set)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFilesSpreadAcrossOSTs(t *testing.T) {
+	_, fs := build(2, DefaultConfig())
+	hit := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		set := fs.stripeSet(fmt.Sprintf("file-%d", i))
+		hit[set[0]] = true
+	}
+	if len(hit) < fs.NumOSTs()/2 {
+		t.Fatalf("200 files landed on only %d of %d OSTs", len(hit), fs.NumOSTs())
+	}
+}
+
+func TestWideStripeRotates(t *testing.T) {
+	_, fs := build(2, DefaultConfig())
+	first := fs.wideStripe()
+	second := fs.wideStripe()
+	if second != (first+1)%fs.NumOSTs() {
+		t.Fatalf("wideStripe did not rotate: %d then %d", first, second)
+	}
+}
+
+func TestHotOSTThrottlesSharedFiles(t *testing.T) {
+	// Two write-through streams to files on the SAME target contend;
+	// files on different targets run in parallel.
+	cfg := DefaultConfig()
+	cfg.DirtyLimitBytes = 0
+	cfg.OverloadAlpha = 0
+	cfg.NumOSTs = 2
+	cfg.AggregateBandwidth = 200 // 100 per OST
+	run := func(sameOST bool) float64 {
+		sim, fs := build(3, cfg)
+		a := fs.Create(0, "a")
+		var b *File
+		// Find a name landing on the same (or different) OST as "a".
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("b%d", i)
+			set := fs.stripeSet(name)
+			if (set[0] == a.stripes[0]) == sameOST {
+				b = fs.Create(1, name)
+				break
+			}
+		}
+		done := 0
+		fs.Write(a, 100, func() { done++ })
+		fs.Write(b, 100, func() { done++ })
+		sim.Run()
+		if done != 2 {
+			t.Fatal("writes incomplete")
+		}
+		return sim.Now()
+	}
+	same := run(true)
+	diff := run(false)
+	if same <= diff {
+		t.Fatalf("co-located files (%v) should contend vs spread files (%v)", same, diff)
+	}
+}
+
+func TestPerOSTDemandIsolated(t *testing.T) {
+	// Overload on one OST must not collapse the others.
+	cfg := DefaultConfig()
+	cfg.NumOSTs = 4
+	cfg.AggregateBandwidth = 400
+	cfg.FetchStreamDemand = 1000 // any single unthrottled stream overloads its OST
+	sim, fs := build(2, cfg)
+	fs.ossFlow(50, cfg.FetchStreamDemand, nil, 0)
+	sim.RunUntil(0.0001)
+	if fs.osts[0].Capacity() >= 100 {
+		t.Fatalf("OST0 capacity %v, want collapsed", fs.osts[0].Capacity())
+	}
+	if fs.osts[1].Capacity() != 100 {
+		t.Fatalf("OST1 capacity %v, want untouched peak", fs.osts[1].Capacity())
+	}
+	sim.Run()
+	if fs.osts[0].Capacity() != 100 {
+		t.Fatalf("OST0 capacity %v after drain, want recovered", fs.osts[0].Capacity())
+	}
+}

@@ -1,0 +1,284 @@
+// Package metrics provides the statistics the paper's figures report:
+// CDFs over per-node quantities, min/avg/max summaries of task execution
+// times, per-phase dissections of job execution, and task timelines
+// ordered by launch time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean             float64
+	Median, P90, P99 float64
+	Stddev           float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Median: Quantile(s, 0.5),
+		P90:    Quantile(s, 0.9),
+		P99:    Quantile(s, 0.99),
+		Stddev: math.Sqrt(variance),
+	}
+}
+
+// Quantile returns the q-quantile (0..1) of sorted sample s by linear
+// interpolation.
+func Quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	xs []float64 // sorted
+}
+
+// NewCDF builds a CDF from a sample (copied and sorted).
+func NewCDF(sample []float64) *CDF {
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	return &CDF{xs: xs}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// InvAt returns the smallest sample value v with P(X <= v) >= p.
+func (c *CDF) InvAt(p float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(c.xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.xs) }
+
+// Points returns (x, P(X<=x)) pairs for plotting, one per sample value.
+func (c *CDF) Points() [][2]float64 {
+	pts := make([][2]float64, len(c.xs))
+	for i, x := range c.xs {
+		pts[i] = [2]float64{x, float64(i+1) / float64(len(c.xs))}
+	}
+	return pts
+}
+
+// Dissection is a per-phase breakdown of job execution time, in seconds.
+type Dissection struct {
+	Compute float64
+	Storing float64
+	Shuffle float64
+}
+
+// Total returns the summed phase time.
+func (d Dissection) Total() float64 { return d.Compute + d.Storing + d.Shuffle }
+
+// String renders the dissection compactly.
+func (d Dissection) String() string {
+	return fmt.Sprintf("compute=%.2fs storing=%.2fs shuffle=%.2fs total=%.2fs",
+		d.Compute, d.Storing, d.Shuffle, d.Total())
+}
+
+// TaskRecord captures one task execution for timelines and variation
+// analysis.
+type TaskRecord struct {
+	ID     int
+	Node   int
+	Launch float64
+	Finish float64
+	Bytes  float64
+	Local  bool
+}
+
+// Duration returns the task execution time.
+func (t TaskRecord) Duration() float64 { return t.Finish - t.Launch }
+
+// Timeline is a set of task records ordered by launch time.
+type Timeline struct {
+	Records []TaskRecord
+}
+
+// Add appends a record.
+func (tl *Timeline) Add(r TaskRecord) { tl.Records = append(tl.Records, r) }
+
+// SortByLaunch orders records by launch time (stable on ID).
+func (tl *Timeline) SortByLaunch() {
+	sort.SliceStable(tl.Records, func(i, j int) bool {
+		if tl.Records[i].Launch != tl.Records[j].Launch {
+			return tl.Records[i].Launch < tl.Records[j].Launch
+		}
+		return tl.Records[i].ID < tl.Records[j].ID
+	})
+}
+
+// Durations returns all task durations in record order.
+func (tl *Timeline) Durations() []float64 {
+	ds := make([]float64, len(tl.Records))
+	for i, r := range tl.Records {
+		ds[i] = r.Duration()
+	}
+	return ds
+}
+
+// Spread returns max/min task duration — the paper's Fig 8(c) metric.
+// It returns 0 for empty timelines and +Inf when the fastest task is
+// instantaneous.
+func (tl *Timeline) Spread() float64 {
+	if len(tl.Records) == 0 {
+		return 0
+	}
+	s := Summarize(tl.Durations())
+	if s.Min == 0 {
+		return math.Inf(1)
+	}
+	return s.Max / s.Min
+}
+
+// PerNode aggregates a per-record value into per-node sums.
+func (tl *Timeline) PerNode(nodes int, value func(TaskRecord) float64) []float64 {
+	out := make([]float64, nodes)
+	for _, r := range tl.Records {
+		if r.Node >= 0 && r.Node < nodes {
+			out[r.Node] += value(r)
+		}
+	}
+	return out
+}
+
+// Series is a labelled sequence of (x, y) points — one figure line.
+type Series struct {
+	Label  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders the series as aligned rows, one per point.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s  (%s vs %s)\n", s.Label, s.YLabel, s.XLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%12.4g %12.4g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Table renders multiple series sharing an x-axis as one table with a
+// header row, matching how the paper's figures present grouped bars.
+func Table(title string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%12s", series[0].XLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	b.WriteString("\n")
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%12.4g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %16.4g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Ratio returns a/b, or NaN when b is zero — for reporting speedups.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// Improvement returns the fractional improvement of optimized vs
+// baseline: (baseline-optimized)/baseline.
+func Improvement(baseline, optimized float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - optimized) / baseline
+}
+
+// MeanOf returns the arithmetic mean of xs (0 for empty).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("N=%d Min=%v Max=%v", s.N, s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2.5", s.Mean)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Fatalf("Median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) && math.Abs(r) < 1e12 {
+				xs = append(xs, r)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Median <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	f := func(sample []float64, probes []float64) bool {
+		clean := make([]float64, 0, len(sample))
+		for _, x := range sample {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		c := NewCDF(clean)
+		ps := make([]float64, 0, len(probes))
+		for _, p := range probes {
+			if !math.IsNaN(p) && !math.IsInf(p, 0) {
+				ps = append(ps, p)
+			}
+		}
+		sort.Float64s(ps)
+		prev := -1.0
+		for _, p := range ps {
+			v := c.At(p)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v, want 1", got)
+	}
+}
+
+func TestCDFInvAt(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if got := c.InvAt(0.5); got != 20 {
+		t.Fatalf("InvAt(0.5) = %v, want 20", got)
+	}
+	if got := c.InvAt(1); got != 40 {
+		t.Fatalf("InvAt(1) = %v, want 40", got)
+	}
+	if got := c.InvAt(0.01); got != 10 {
+		t.Fatalf("InvAt(0.01) = %v, want 10", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{5, 1})
+	pts := c.Points()
+	if len(pts) != 2 || pts[0][0] != 1 || pts[0][1] != 0.5 || pts[1][1] != 1 {
+		t.Fatalf("Points = %v", pts)
+	}
+}
+
+func TestDissection(t *testing.T) {
+	d := Dissection{Compute: 1, Storing: 2, Shuffle: 3}
+	if d.Total() != 6 {
+		t.Fatalf("Total = %v", d.Total())
+	}
+	if !strings.Contains(d.String(), "storing=2.00s") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestTimelineSpread(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(TaskRecord{ID: 0, Launch: 0, Finish: 1})
+	tl.Add(TaskRecord{ID: 1, Launch: 0, Finish: 18})
+	if got := tl.Spread(); math.Abs(got-18) > 1e-12 {
+		t.Fatalf("Spread = %v, want 18", got)
+	}
+}
+
+func TestTimelineSortAndPerNode(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(TaskRecord{ID: 1, Node: 1, Launch: 5, Finish: 6, Bytes: 10})
+	tl.Add(TaskRecord{ID: 0, Node: 0, Launch: 1, Finish: 3, Bytes: 20})
+	tl.SortByLaunch()
+	if tl.Records[0].ID != 0 {
+		t.Fatalf("sort failed: %+v", tl.Records)
+	}
+	per := tl.PerNode(2, func(r TaskRecord) float64 { return r.Bytes })
+	if per[0] != 20 || per[1] != 10 {
+		t.Fatalf("PerNode = %v", per)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	s1 := &Series{Label: "hdfs", XLabel: "GB", YLabel: "s"}
+	s1.Add(100, 1.5)
+	s1.Add(200, 3.0)
+	s2 := &Series{Label: "lustre", XLabel: "GB", YLabel: "s"}
+	s2.Add(100, 8.0)
+	out := Table("Fig", s1, s2)
+	if !strings.Contains(out, "hdfs") || !strings.Contains(out, "lustre") {
+		t.Fatalf("Table missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("Table should pad missing points with '-':\n%s", out)
+	}
+	if !strings.Contains(s1.String(), "1.5") {
+		t.Fatalf("Series.String: %s", s1.String())
+	}
+}
+
+func TestRatioAndImprovement(t *testing.T) {
+	if r := Ratio(10, 2); r != 5 {
+		t.Fatalf("Ratio = %v", r)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("Ratio by zero should be NaN")
+	}
+	if imp := Improvement(10, 7.4); math.Abs(imp-0.26) > 1e-12 {
+		t.Fatalf("Improvement = %v, want 0.26", imp)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if m := MeanOf([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("MeanOf = %v", m)
+	}
+	if m := MeanOf(nil); m != 0 {
+		t.Fatalf("MeanOf(nil) = %v", m)
+	}
+}

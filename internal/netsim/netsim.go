@@ -1,0 +1,157 @@
+// Package netsim models the cluster interconnect as a set of per-node NIC
+// resources over a full-bisection fabric (InfiniBand QDR on Hyperion).
+// A transfer between two nodes is a fluid flow crossing both endpoints'
+// NICs; concurrent flows share each NIC equally, so incast at a receiver
+// and fan-out at a sender both throttle naturally.
+//
+// Transfers also carry a per-request fixed overhead, which models the
+// paper's network-bottleneck scenario: shrinking the Spark FetchRequest
+// size from 1 GB to 128 KB multiplies the number of requests needed to
+// move the same data and narrows the effective bandwidth.
+package netsim
+
+import (
+	"fmt"
+
+	"hpcmr/internal/simclock"
+)
+
+// Config describes the fabric.
+type Config struct {
+	// Nodes is the number of endpoints.
+	Nodes int
+	// LinkBandwidth is the per-node NIC bandwidth in bytes/s.
+	// Hyperion's IB QDR delivers 32 Gb/s ~= 4e9 B/s.
+	LinkBandwidth float64
+	// RequestSize is the granularity of transfer requests in bytes
+	// (spark.reducer fetch size). Each request adds RequestOverhead.
+	RequestSize float64
+	// RequestOverhead is the fixed latency cost per request in seconds
+	// (RPC setup, protocol processing).
+	RequestOverhead float64
+	// BaseLatency is the one-way propagation latency in seconds.
+	BaseLatency float64
+	// Racks partitions nodes round-robin across this many racks; zero
+	// or one models a single fully connected fabric. Hyperion's nodes
+	// span two racks.
+	Racks int
+	// RackUplinkBandwidth caps each rack's aggregate cross-rack
+	// bandwidth in bytes/s; zero means the inter-rack fabric is not
+	// oversubscribed (full bisection, as on Hyperion's IB QDR).
+	RackUplinkBandwidth float64
+}
+
+// DefaultConfig returns the Hyperion-like fabric used by the paper's
+// experiments: IB QDR links and 1 GB fetch requests.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		LinkBandwidth:   4e9,
+		RequestSize:     1 << 30, // 1 GB, Table I spark.reducer.maxMbInFlight
+		RequestOverhead: 0.5e-3,
+		BaseLatency:     5e-6,
+		Racks:           2, // full bisection: uplinks not oversubscribed
+	}
+}
+
+// Fabric is the simulated interconnect.
+type Fabric struct {
+	sim     *simclock.Sim
+	fluid   *simclock.Fluid
+	cfg     Config
+	nics    []*simclock.Res
+	uplinks []*simclock.Res // per-rack aggregate uplinks; nil entries = unconstrained
+
+	bytesMoved     float64
+	transfers      int64
+	crossRackBytes float64
+}
+
+// New builds a fabric on sim with one NIC resource per node and, when
+// rack oversubscription is configured, one uplink resource per rack.
+func New(sim *simclock.Sim, fluid *simclock.Fluid, cfg Config) *Fabric {
+	if cfg.Nodes < 1 {
+		panic("netsim: need at least one node")
+	}
+	if cfg.Racks < 1 {
+		cfg.Racks = 1
+	}
+	f := &Fabric{sim: sim, fluid: fluid, cfg: cfg}
+	f.nics = make([]*simclock.Res, cfg.Nodes)
+	for i := range f.nics {
+		f.nics[i] = fluid.NewRes(fmt.Sprintf("nic%d", i), cfg.LinkBandwidth)
+	}
+	if cfg.Racks > 1 && cfg.RackUplinkBandwidth > 0 {
+		f.uplinks = make([]*simclock.Res, cfg.Racks)
+		for r := range f.uplinks {
+			f.uplinks[r] = fluid.NewRes(fmt.Sprintf("rack%d", r), cfg.RackUplinkBandwidth)
+		}
+	}
+	return f
+}
+
+// Rack returns the rack index of a node (round-robin placement).
+func (f *Fabric) Rack(node int) int {
+	if f.cfg.Racks <= 1 {
+		return 0
+	}
+	return node % f.cfg.Racks
+}
+
+// SameRack reports whether two nodes share a rack.
+func (f *Fabric) SameRack(a, b int) bool { return f.Rack(a) == f.Rack(b) }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NIC returns the NIC resource of a node, so other models (for example a
+// storage server flushing over the network) can route flows across it.
+func (f *Fabric) NIC(node int) *simclock.Res { return f.nics[node] }
+
+// Transfer moves size bytes from src to dst and calls done on completion.
+// The cost is the fluid transfer across both NICs plus per-request
+// protocol work and base latency. Per-request work occupies the links
+// (each request costs RequestOverhead of wire time), so shrinking the
+// request size narrows the effective bandwidth — the paper's
+// network-bottleneck scenario. Transfers between a node and itself are
+// loopback: only latency, no NIC occupancy.
+func (f *Fabric) Transfer(src, dst int, size float64, done func()) {
+	f.transfers++
+	f.bytesMoved += size
+	if src == dst {
+		f.sim.After(f.cfg.BaseLatency, done)
+		return
+	}
+	padded := size + f.requestPadding(size)
+	res := []*simclock.Res{f.nics[src], f.nics[dst]}
+	if f.uplinks != nil && !f.SameRack(src, dst) {
+		f.crossRackBytes += size
+		res = append(res, f.uplinks[f.Rack(src)], f.uplinks[f.Rack(dst)])
+	}
+	f.sim.After(f.cfg.BaseLatency, func() {
+		f.fluid.Start(padded, done, res...)
+	})
+}
+
+// requestPadding converts the per-request protocol cost into equivalent
+// wire bytes, so request overhead consumes link capacity.
+func (f *Fabric) requestPadding(size float64) float64 {
+	if f.cfg.RequestSize <= 0 || f.cfg.RequestOverhead <= 0 {
+		return 0
+	}
+	requests := size / f.cfg.RequestSize
+	if requests < 1 {
+		requests = 1
+	}
+	return requests * f.cfg.RequestOverhead * f.cfg.LinkBandwidth
+}
+
+// BytesMoved returns the cumulative bytes accepted for transfer.
+func (f *Fabric) BytesMoved() float64 { return f.bytesMoved }
+
+// Transfers returns the number of Transfer calls.
+func (f *Fabric) Transfers() int64 { return f.transfers }
+
+// CrossRackBytes returns the bytes that crossed oversubscribed rack
+// uplinks (0 when uplinks are unconstrained).
+func (f *Fabric) CrossRackBytes() float64 { return f.crossRackBytes }

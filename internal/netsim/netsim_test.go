@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"hpcmr/internal/simclock"
+)
+
+func build(nodes int, cfg Config) (*simclock.Sim, *Fabric) {
+	sim := simclock.New()
+	fluid := simclock.NewFluid(sim)
+	cfg.Nodes = nodes
+	return sim, New(sim, fluid, cfg)
+}
+
+func simpleCfg() Config {
+	return Config{LinkBandwidth: 100, RequestSize: 0, RequestOverhead: 0, BaseLatency: 0}
+}
+
+func TestPointToPoint(t *testing.T) {
+	sim, fab := build(2, simpleCfg())
+	var end float64
+	fab.Transfer(0, 1, 500, func() { end = sim.Now() })
+	sim.Run()
+	if math.Abs(end-5) > 1e-9 {
+		t.Fatalf("end = %v, want 5", end)
+	}
+}
+
+func TestIncastSharesReceiverNIC(t *testing.T) {
+	sim, fab := build(4, simpleCfg())
+	var ends []float64
+	// Three senders into node 3: receiver NIC (100 B/s) is the bottleneck.
+	for s := 0; s < 3; s++ {
+		fab.Transfer(s, 3, 100, func() { ends = append(ends, sim.Now()) })
+	}
+	sim.Run()
+	for _, e := range ends {
+		if math.Abs(e-3) > 1e-9 {
+			t.Fatalf("ends = %v, want all 3 (300 B over one 100 B/s NIC)", ends)
+		}
+	}
+}
+
+func TestFanOutSharesSenderNIC(t *testing.T) {
+	sim, fab := build(4, simpleCfg())
+	var ends []float64
+	for d := 1; d < 4; d++ {
+		fab.Transfer(0, d, 100, func() { ends = append(ends, sim.Now()) })
+	}
+	sim.Run()
+	for _, e := range ends {
+		if math.Abs(e-3) > 1e-9 {
+			t.Fatalf("ends = %v, want all 3 (sender NIC shared)", ends)
+		}
+	}
+}
+
+func TestDisjointPairsDoNotInterfere(t *testing.T) {
+	sim, fab := build(4, simpleCfg())
+	var ends []float64
+	fab.Transfer(0, 1, 100, func() { ends = append(ends, sim.Now()) })
+	fab.Transfer(2, 3, 100, func() { ends = append(ends, sim.Now()) })
+	sim.Run()
+	for _, e := range ends {
+		if math.Abs(e-1) > 1e-9 {
+			t.Fatalf("ends = %v, want both 1 (full bisection)", ends)
+		}
+	}
+}
+
+func TestLoopbackOnlyLatency(t *testing.T) {
+	cfg := simpleCfg()
+	cfg.BaseLatency = 0.25
+	sim, fab := build(2, cfg)
+	var end float64
+	fab.Transfer(1, 1, 1e12, func() { end = sim.Now() })
+	sim.Run()
+	if math.Abs(end-0.25) > 1e-9 {
+		t.Fatalf("loopback end = %v, want 0.25", end)
+	}
+	if fab.NIC(1).Active() != 0 {
+		t.Fatal("loopback occupied the NIC")
+	}
+}
+
+func TestRequestOverheadScalesWithSize(t *testing.T) {
+	cfg := simpleCfg()
+	cfg.RequestSize = 100
+	cfg.RequestOverhead = 1
+	sim, fab := build(2, cfg)
+	var end float64
+	// 1000 bytes => 10 requests => 10 s overhead + 10 s transfer.
+	fab.Transfer(0, 1, 1000, func() { end = sim.Now() })
+	sim.Run()
+	if math.Abs(end-20) > 1e-9 {
+		t.Fatalf("end = %v, want 20", end)
+	}
+}
+
+func TestSmallRequestSizeNarrowsBandwidth(t *testing.T) {
+	// The paper's network-bottleneck scenario: same data, smaller request
+	// size, more requests, longer completion.
+	run := func(reqSize float64) float64 {
+		cfg := simpleCfg()
+		cfg.RequestSize = reqSize
+		cfg.RequestOverhead = 0.01
+		sim, fab := build(2, cfg)
+		var end float64
+		fab.Transfer(0, 1, 10000, func() { end = sim.Now() })
+		sim.Run()
+		return end
+	}
+	big := run(10000)
+	small := run(100)
+	if small <= big {
+		t.Fatalf("small requests (%v) should be slower than large (%v)", small, big)
+	}
+}
+
+func TestMinimumOneRequest(t *testing.T) {
+	cfg := simpleCfg()
+	cfg.RequestSize = 1000
+	cfg.RequestOverhead = 2
+	sim, fab := build(2, cfg)
+	var end float64
+	fab.Transfer(0, 1, 10, func() { end = sim.Now() }) // 0.1 s transfer
+	sim.Run()
+	if math.Abs(end-2.1) > 1e-9 {
+		t.Fatalf("end = %v, want 2.1 (one request minimum)", end)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	sim, fab := build(2, simpleCfg())
+	fab.Transfer(0, 1, 100, nil)
+	fab.Transfer(1, 0, 200, nil)
+	sim.Run()
+	if fab.Transfers() != 2 {
+		t.Fatalf("Transfers = %d, want 2", fab.Transfers())
+	}
+	if fab.BytesMoved() != 300 {
+		t.Fatalf("BytesMoved = %v, want 300", fab.BytesMoved())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(100)
+	if cfg.Nodes != 100 {
+		t.Fatalf("Nodes = %d", cfg.Nodes)
+	}
+	if cfg.LinkBandwidth != 4e9 {
+		t.Fatalf("LinkBandwidth = %v, want 4e9 (IB QDR)", cfg.LinkBandwidth)
+	}
+	if cfg.RequestSize != 1<<30 {
+		t.Fatalf("RequestSize = %v, want 1 GiB", cfg.RequestSize)
+	}
+}

@@ -1,0 +1,99 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"hpcmr/internal/simclock"
+)
+
+func rackCfg(nodes, racks int, uplink float64) Config {
+	return Config{
+		Nodes:               nodes,
+		LinkBandwidth:       100,
+		Racks:               racks,
+		RackUplinkBandwidth: uplink,
+	}
+}
+
+func TestRackPlacementRoundRobin(t *testing.T) {
+	sim := simclock.New()
+	fab := New(sim, simclock.NewFluid(sim), rackCfg(6, 2, 0))
+	for n := 0; n < 6; n++ {
+		if got := fab.Rack(n); got != n%2 {
+			t.Fatalf("Rack(%d) = %d, want %d", n, got, n%2)
+		}
+	}
+	if !fab.SameRack(0, 2) || fab.SameRack(0, 1) {
+		t.Fatal("SameRack misbehaves")
+	}
+}
+
+func TestSingleRackAlwaysSame(t *testing.T) {
+	sim := simclock.New()
+	fab := New(sim, simclock.NewFluid(sim), rackCfg(4, 1, 0))
+	if !fab.SameRack(0, 3) {
+		t.Fatal("single rack must contain everything")
+	}
+}
+
+func TestUnconstrainedUplinksFullBisection(t *testing.T) {
+	// Racks configured but no uplink cap: cross-rack equals in-rack.
+	sim := simclock.New()
+	fab := New(sim, simclock.NewFluid(sim), rackCfg(6, 2, 0))
+	var cross, within float64
+	fab.Transfer(0, 1, 100, func() { cross = sim.Now() })  // racks 0,1
+	fab.Transfer(3, 5, 100, func() { within = sim.Now() }) // both rack 1, disjoint NICs
+	sim.Run()
+	if math.Abs(cross-within) > 1e-9 {
+		t.Fatalf("cross=%v within=%v, want equal without oversubscription", cross, within)
+	}
+	if fab.CrossRackBytes() != 0 {
+		t.Fatal("unconstrained fabric should not account cross-rack bytes")
+	}
+}
+
+func TestOversubscribedUplinkThrottles(t *testing.T) {
+	// Uplink 50 B/s vs NICs at 100 B/s: cross-rack transfers take 2x.
+	sim := simclock.New()
+	fab := New(sim, simclock.NewFluid(sim), rackCfg(6, 2, 50))
+	var cross, within float64
+	fab.Transfer(0, 1, 100, func() { cross = sim.Now() })
+	fab.Transfer(3, 5, 100, func() { within = sim.Now() })
+	sim.Run()
+	if math.Abs(within-1) > 1e-9 {
+		t.Fatalf("within-rack = %v, want 1", within)
+	}
+	if math.Abs(cross-2) > 1e-9 {
+		t.Fatalf("cross-rack = %v, want 2 (uplink-bound)", cross)
+	}
+	if fab.CrossRackBytes() != 100 {
+		t.Fatalf("CrossRackBytes = %v, want 100", fab.CrossRackBytes())
+	}
+}
+
+func TestUplinkSharedAcrossFlows(t *testing.T) {
+	// Two cross-rack flows from different nodes share one uplink pair.
+	sim := simclock.New()
+	fab := New(sim, simclock.NewFluid(sim), rackCfg(4, 2, 50))
+	var ends []float64
+	fab.Transfer(0, 1, 100, func() { ends = append(ends, sim.Now()) })
+	fab.Transfer(2, 3, 100, func() { ends = append(ends, sim.Now()) })
+	sim.Run()
+	// 200 bytes over a 50 B/s uplink: both complete at 4.
+	for _, e := range ends {
+		if math.Abs(e-4) > 1e-9 {
+			t.Fatalf("ends = %v, want both 4 (shared uplink)", ends)
+		}
+	}
+}
+
+func TestDefaultConfigTwoRacksFullBisection(t *testing.T) {
+	cfg := DefaultConfig(100)
+	if cfg.Racks != 2 {
+		t.Fatalf("Racks = %d, want 2 (Hyperion)", cfg.Racks)
+	}
+	if cfg.RackUplinkBandwidth != 0 {
+		t.Fatal("default must be full bisection (no uplink cap)")
+	}
+}

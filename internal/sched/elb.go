@@ -1,0 +1,89 @@
+package sched
+
+// ELB is the paper's Enhanced Load Balancer (Section VI-A). The policy
+// records the intermediate data deposited by each completed task and
+// monitors the per-node average. A node whose accumulated volume exceeds
+// the average by Threshold stops receiving tasks; pending tasks go to
+// the least-loaded nodes instead. When the average catches up, the node
+// resumes. ELB deliberately trades locality for balance — Section V-A
+// shows locality is worth little on HPC systems — so task locality
+// preferences are ignored.
+type ELB struct {
+	// Threshold is the fractional excess over the cluster average at
+	// which a node is paused (the paper uses 0.25).
+	Threshold float64
+
+	nodes     int
+	q         *taskQueue
+	nodeBytes []float64
+	total     float64
+}
+
+// NewELB returns an ELB policy for a cluster of the given size.
+// Intermediate-data accounting persists across stages of a job: the
+// imbalance created by the map phase is what the storing/shuffle stages
+// must correct for.
+func NewELB(nodes int, threshold float64) *ELB {
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	return &ELB{Threshold: threshold, nodes: nodes, nodeBytes: make([]float64, nodes)}
+}
+
+// StageStart implements Policy. Task locality preferences are ignored.
+func (p *ELB) StageStart(tasks []TaskInfo, now float64) {
+	p.q = newTaskQueue(tasks)
+}
+
+// average returns the mean intermediate volume per node.
+func (p *ELB) average() float64 {
+	if p.nodes == 0 {
+		return 0
+	}
+	return p.total / float64(p.nodes)
+}
+
+// Paused reports whether node is currently excluded from assignment.
+func (p *ELB) Paused(node int) bool {
+	avg := p.average()
+	if avg <= 0 {
+		return false
+	}
+	return p.nodeBytes[node] > avg*(1+p.Threshold)
+}
+
+// Offer implements Policy.
+func (p *ELB) Offer(node int, now float64) Decision {
+	if p.q == nil || p.q.len() == 0 {
+		return Decline(0)
+	}
+	if p.Paused(node) {
+		// Re-offer on the next completion (accounting changes then).
+		return Decline(0)
+	}
+	t, ok := p.q.popAny()
+	if !ok {
+		return Decline(0)
+	}
+	return Decision{TaskID: t.ID, Local: isLocal(t, node)}
+}
+
+// Completed implements Policy: accumulate the intermediate data the task
+// deposited on its node.
+func (p *ELB) Completed(task, node int, now float64, stats TaskStats) {
+	if node >= 0 && node < p.nodes {
+		p.nodeBytes[node] += stats.IntermediateBytes
+		p.total += stats.IntermediateBytes
+	}
+}
+
+// Pending implements Policy.
+func (p *ELB) Pending() int {
+	if p.q == nil {
+		return 0
+	}
+	return p.q.len()
+}
+
+// NodeBytes returns the recorded intermediate volume of node.
+func (p *ELB) NodeBytes(node int) float64 { return p.nodeBytes[node] }

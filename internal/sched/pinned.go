@@ -1,0 +1,45 @@
+package sched
+
+// Pinned dispatches tasks only on their preferred node — the discipline
+// of storing-phase ShuffleMapTasks, which flush in-memory output that
+// lives on a specific node and therefore cannot move. Wrap it with CAD
+// to throttle the dispatch of exactly these tasks, as Section VI-B does.
+type Pinned struct {
+	q *taskQueue
+}
+
+// NewPinned returns a pinned-task dispatcher.
+func NewPinned() *Pinned { return &Pinned{} }
+
+// StageStart implements Policy. Every task must carry at least one
+// preferred node; tasks without preferences are treated as runnable
+// anywhere.
+func (p *Pinned) StageStart(tasks []TaskInfo, now float64) {
+	p.q = newTaskQueue(tasks)
+}
+
+// Offer implements Policy.
+func (p *Pinned) Offer(node int, now float64) Decision {
+	if p.q == nil {
+		return Decline(0)
+	}
+	if t, ok := p.q.popLocal(node); ok {
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	// Preference-free tasks may run anywhere.
+	if t, ok := p.q.popNoPref(); ok {
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	return Decline(0)
+}
+
+// Completed implements Policy.
+func (p *Pinned) Completed(task, node int, now float64, stats TaskStats) {}
+
+// Pending implements Policy.
+func (p *Pinned) Pending() int {
+	if p.q == nil {
+		return 0
+	}
+	return p.q.len()
+}

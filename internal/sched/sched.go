@@ -1,0 +1,296 @@
+// Package sched implements the task-scheduling policies the paper
+// studies and contributes, as pure logic shared by the cluster simulator
+// and the real execution engine:
+//
+//   - FIFO: the compute-centric baseline; tasks launch immediately on any
+//     free slot (every node is equidistant from storage).
+//   - LocalityPreferring: prefers tasks whose input is local to the
+//     offering node but never waits for locality.
+//   - Delay scheduling (Zaharia et al., EuroSys'10), as adopted by Spark:
+//     declines non-local launches until the job has waited past a
+//     locality-wait threshold. The paper shows this is useless-to-harmful
+//     on HPC systems (Figs 5(b), 9).
+//   - ELB (Enhanced Load Balancer, Section VI-A): tracks the intermediate
+//     data volume each node has accumulated; nodes above the cluster
+//     average by a threshold (25%) stop receiving tasks until the average
+//     catches up, with pending tasks steered to the least-loaded nodes.
+//   - CAD (Congestion-Aware Dispatching, Section VI-B): a feedback
+//     throttle on task dispatch. When the mean completed-task time jumps
+//     by 2x, the dispatch interval grows by 50 ms; when it drops by half,
+//     the interval shrinks.
+//
+// The runtime contract: the executor framework calls StageStart once per
+// stage, Offer whenever a node has a free slot, and Completed when a task
+// finishes. Offer either assigns a task (possibly after a dispatch
+// delay) or declines with an optional retry hint; runtimes also re-offer
+// idle slots whenever any task completes.
+package sched
+
+// TaskInfo describes one schedulable task of a stage.
+type TaskInfo struct {
+	// ID is the task index, unique within the stage.
+	ID int
+	// PreferredNodes lists nodes holding the task's input (locality
+	// preference); nil means the task has no preference.
+	PreferredNodes []int
+}
+
+// TaskStats reports a completed task to the policy.
+type TaskStats struct {
+	// Duration is the task execution time in seconds.
+	Duration float64
+	// IntermediateBytes is the intermediate data volume the task
+	// deposited on its node.
+	IntermediateBytes float64
+}
+
+// Decision is a policy's answer to a slot offer.
+type Decision struct {
+	// TaskID is the task to launch, or -1 to decline.
+	TaskID int
+	// Delay is a dispatch delay to apply before launching (CAD
+	// throttling); zero launches immediately.
+	Delay float64
+	// Retry, when declining, asks the runtime to re-offer this slot
+	// after the given time even if no completion occurs; zero means
+	// re-offer only on the next completion event.
+	Retry float64
+	// Local reports whether the launch satisfies the task's locality
+	// preference (meaningful only when TaskID >= 0).
+	Local bool
+}
+
+// Decline is the canonical refusal decision.
+func Decline(retry float64) Decision { return Decision{TaskID: -1, Retry: retry} }
+
+// Policy is a pluggable task-placement strategy.
+type Policy interface {
+	// StageStart resets the policy with a new stage's task set.
+	StageStart(tasks []TaskInfo, now float64)
+	// Offer asks for a task to run on a free slot of node.
+	Offer(node int, now float64) Decision
+	// Completed reports a finished task.
+	Completed(task, node int, now float64, stats TaskStats)
+	// Pending returns the number of unassigned tasks.
+	Pending() int
+}
+
+// taskQueue holds unassigned tasks in ID order with locality indexing.
+type taskQueue struct {
+	pending map[int]TaskInfo
+	order   []int // task IDs in FIFO order; lazily compacted
+	byNode  map[int][]int
+	noPref  []int // tasks without locality preferences
+}
+
+func newTaskQueue(tasks []TaskInfo) *taskQueue {
+	q := &taskQueue{
+		pending: make(map[int]TaskInfo, len(tasks)),
+		byNode:  make(map[int][]int),
+	}
+	for _, t := range tasks {
+		q.pending[t.ID] = t
+		q.order = append(q.order, t.ID)
+		if len(t.PreferredNodes) == 0 {
+			q.noPref = append(q.noPref, t.ID)
+		}
+		for _, n := range t.PreferredNodes {
+			q.byNode[n] = append(q.byNode[n], t.ID)
+		}
+	}
+	return q
+}
+
+// popNoPref removes and returns the oldest preference-free pending
+// task, or ok=false.
+func (q *taskQueue) popNoPref() (TaskInfo, bool) {
+	for len(q.noPref) > 0 {
+		id := q.noPref[0]
+		q.noPref = q.noPref[1:]
+		if t, ok := q.pending[id]; ok {
+			delete(q.pending, id)
+			return t, true
+		}
+	}
+	return TaskInfo{}, false
+}
+
+func (q *taskQueue) len() int { return len(q.pending) }
+
+// popAny removes and returns the oldest pending task, or ok=false.
+func (q *taskQueue) popAny() (TaskInfo, bool) {
+	for len(q.order) > 0 {
+		id := q.order[0]
+		q.order = q.order[1:]
+		if t, ok := q.pending[id]; ok {
+			delete(q.pending, id)
+			return t, true
+		}
+	}
+	return TaskInfo{}, false
+}
+
+// popLocal removes and returns the oldest pending task preferring node,
+// or ok=false.
+func (q *taskQueue) popLocal(node int) (TaskInfo, bool) {
+	ids := q.byNode[node]
+	for len(ids) > 0 {
+		id := ids[0]
+		ids = ids[1:]
+		if t, ok := q.pending[id]; ok {
+			q.byNode[node] = ids
+			delete(q.pending, id)
+			return t, true
+		}
+	}
+	q.byNode[node] = ids
+	return TaskInfo{}, false
+}
+
+func isLocal(t TaskInfo, node int) bool {
+	for _, n := range t.PreferredNodes {
+		if n == node {
+			return true
+		}
+	}
+	return len(t.PreferredNodes) == 0
+}
+
+// FIFO launches tasks in ID order on any offering slot.
+type FIFO struct {
+	q *taskQueue
+}
+
+// NewFIFO returns the compute-centric baseline policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// StageStart implements Policy.
+func (p *FIFO) StageStart(tasks []TaskInfo, now float64) { p.q = newTaskQueue(tasks) }
+
+// Offer implements Policy.
+func (p *FIFO) Offer(node int, now float64) Decision {
+	if p.q == nil {
+		return Decline(0)
+	}
+	t, ok := p.q.popAny()
+	if !ok {
+		return Decline(0)
+	}
+	return Decision{TaskID: t.ID, Local: isLocal(t, node)}
+}
+
+// Completed implements Policy.
+func (p *FIFO) Completed(task, node int, now float64, stats TaskStats) {}
+
+// Pending implements Policy.
+func (p *FIFO) Pending() int {
+	if p.q == nil {
+		return 0
+	}
+	return p.q.len()
+}
+
+// LocalityPreferring launches a node-local task when one is pending and
+// otherwise immediately launches any task — locality as a preference,
+// never a wait.
+type LocalityPreferring struct {
+	q *taskQueue
+}
+
+// NewLocalityPreferring returns the no-wait locality policy.
+func NewLocalityPreferring() *LocalityPreferring { return &LocalityPreferring{} }
+
+// StageStart implements Policy.
+func (p *LocalityPreferring) StageStart(tasks []TaskInfo, now float64) {
+	p.q = newTaskQueue(tasks)
+}
+
+// Offer implements Policy.
+func (p *LocalityPreferring) Offer(node int, now float64) Decision {
+	if p.q == nil {
+		return Decline(0)
+	}
+	if t, ok := p.q.popLocal(node); ok {
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	t, ok := p.q.popAny()
+	if !ok {
+		return Decline(0)
+	}
+	return Decision{TaskID: t.ID, Local: isLocal(t, node)}
+}
+
+// Completed implements Policy.
+func (p *LocalityPreferring) Completed(task, node int, now float64, stats TaskStats) {}
+
+// Pending implements Policy.
+func (p *LocalityPreferring) Pending() int {
+	if p.q == nil {
+		return 0
+	}
+	return p.q.len()
+}
+
+// Delay implements Spark's delay scheduling: a slot whose node holds no
+// pending local task is declined until the stage has gone Wait seconds
+// without a *local* launch, at which point locality is given up and
+// non-local tasks flow freely. A local launch restores the wait
+// (Zaharia et al.'s level-reset rule).
+type Delay struct {
+	// Wait is the locality wait in seconds (Spark's
+	// spark.locality.wait, 3 s by default).
+	Wait float64
+
+	q          *taskQueue
+	lastLaunch float64
+}
+
+// NewDelay returns a delay-scheduling policy with the given locality
+// wait.
+func NewDelay(wait float64) *Delay { return &Delay{Wait: wait} }
+
+// StageStart implements Policy.
+func (p *Delay) StageStart(tasks []TaskInfo, now float64) {
+	p.q = newTaskQueue(tasks)
+	p.lastLaunch = now
+}
+
+// Offer implements Policy.
+func (p *Delay) Offer(node int, now float64) Decision {
+	if p.q == nil {
+		return Decline(0)
+	}
+	if t, ok := p.q.popLocal(node); ok {
+		p.lastLaunch = now
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	// Tasks without locality preferences run at any level immediately.
+	if t, ok := p.q.popNoPref(); ok {
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	if p.q.len() == 0 {
+		return Decline(0)
+	}
+	waited := now - p.lastLaunch
+	if waited < p.Wait {
+		return Decline(p.Wait - waited)
+	}
+	t, ok := p.q.popAny()
+	if !ok {
+		return Decline(0)
+	}
+	// The wait stays expired until the next local launch, so the
+	// backlog drains instead of trickling one task per wait period.
+	return Decision{TaskID: t.ID, Local: isLocal(t, node)}
+}
+
+// Completed implements Policy.
+func (p *Delay) Completed(task, node int, now float64, stats TaskStats) {}
+
+// Pending implements Policy.
+func (p *Delay) Pending() int {
+	if p.q == nil {
+		return 0
+	}
+	return p.q.len()
+}

@@ -1,0 +1,240 @@
+package simclock
+
+import "math"
+
+// workEpsilon is the residual work below which a flow counts as finished.
+const workEpsilon = 1e-9
+
+// Res is a capacity-constrained resource inside a Fluid system: a NIC, a
+// storage device channel, an aggregate of object storage servers, and so
+// on. Capacity is in work units per second (typically bytes/s). Active
+// flows crossing a resource share its capacity equally.
+type Res struct {
+	fluid    *Fluid
+	name     string
+	capacity float64
+	active   int
+}
+
+// Name returns the label the resource was created with.
+func (r *Res) Name() string { return r.name }
+
+// Capacity returns the current capacity in work units per second.
+func (r *Res) Capacity() float64 { return r.capacity }
+
+// Active returns the number of flows currently crossing the resource.
+func (r *Res) Active() int { return r.active }
+
+// SetCapacity changes the resource capacity, rebalancing all in-flight
+// flows from the current instant. Devices with state-dependent bandwidth
+// (an SSD entering garbage collection, for example) use this.
+func (r *Res) SetCapacity(c float64) {
+	if c < 0 {
+		c = 0
+	}
+	if c == r.capacity {
+		return
+	}
+	r.fluid.advance()
+	r.capacity = c
+	r.fluid.rebalance()
+}
+
+// Flow is an in-flight transfer of a fixed amount of work across one or
+// more resources. Its instantaneous rate is the minimum of its equal
+// shares on every resource it crosses.
+type Flow struct {
+	fluid     *Fluid
+	remaining float64
+	rate      float64
+	res       []*Res
+	done      func()
+	finished  bool
+	canceled  bool
+}
+
+// Remaining returns the work still to transfer, after accounting for
+// progress up to the current instant.
+func (f *Flow) Remaining() float64 {
+	if f.finished || f.canceled {
+		return 0
+	}
+	f.fluid.advance()
+	return f.remaining
+}
+
+// Rate returns the flow's current transfer rate in work units per second.
+func (f *Flow) Rate() float64 {
+	if f.finished || f.canceled {
+		return 0
+	}
+	return f.rate
+}
+
+// Fluid is a processor-sharing fluid-flow system layered on a Sim. Flows
+// progress continuously at rates determined by equal sharing of every
+// resource they cross; the system schedules a wake-up at the earliest
+// completion and rebalances whenever membership or capacity changes.
+//
+// This is the standard fluid approximation for bandwidth-shared systems:
+// N concurrent transfers on a link of capacity C each progress at C/N.
+// Flows are kept in start order so completion callbacks at equal instants
+// fire deterministically.
+type Fluid struct {
+	sim   *Sim
+	flows []*Flow
+	gen   int64
+	lastT float64
+}
+
+// NewFluid returns an empty fluid system on sim.
+func NewFluid(sim *Sim) *Fluid {
+	return &Fluid{sim: sim, lastT: sim.Now()}
+}
+
+// NewRes creates a resource with the given capacity (work units/second).
+func (fl *Fluid) NewRes(name string, capacity float64) *Res {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Res{fluid: fl, name: name, capacity: capacity}
+}
+
+// Start begins a flow of size work units across the given resources and
+// calls done when it completes. A zero-size flow completes on the next
+// event at the current instant. Flows crossing no resources complete
+// immediately as well.
+func (fl *Fluid) Start(size float64, done func(), res ...*Res) *Flow {
+	f := &Flow{fluid: fl, remaining: size, res: res, done: done}
+	if size <= workEpsilon || len(res) == 0 {
+		f.finished = true
+		fl.sim.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return f
+	}
+	fl.advance()
+	fl.flows = append(fl.flows, f)
+	for _, r := range res {
+		r.active++
+	}
+	fl.rebalance()
+	return f
+}
+
+// Cancel aborts a flow; its done callback never fires.
+func (f *Flow) Cancel() {
+	if f.finished || f.canceled {
+		return
+	}
+	f.canceled = true
+	f.fluid.advance()
+	f.fluid.remove(f)
+	f.fluid.rebalance()
+}
+
+func (fl *Fluid) remove(f *Flow) {
+	for i, g := range fl.flows {
+		if g == f {
+			fl.flows = append(fl.flows[:i], fl.flows[i+1:]...)
+			break
+		}
+	}
+	for _, r := range f.res {
+		r.active--
+	}
+}
+
+// advance applies progress at current rates from lastT to now and
+// completes any flows that have drained.
+func (fl *Fluid) advance() {
+	now := fl.sim.Now()
+	dt := now - fl.lastT
+	fl.lastT = now
+	if dt <= 0 || len(fl.flows) == 0 {
+		return
+	}
+	var finished []*Flow
+	for _, f := range fl.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining <= workEpsilon {
+			f.remaining = 0
+			finished = append(finished, f)
+		}
+	}
+	fl.complete(finished)
+}
+
+// complete removes the given flows and then runs their callbacks, so
+// callbacks observe a consistent system state and may start new flows.
+func (fl *Fluid) complete(finished []*Flow) {
+	for _, f := range finished {
+		f.finished = true
+		fl.remove(f)
+	}
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}
+
+// rebalance recomputes every flow's rate and schedules the next wake-up.
+// If float rounding leaves residual work too small to advance the clock,
+// the responsible flows are force-completed so the simulation always
+// makes progress.
+func (fl *Fluid) rebalance() {
+	for {
+		fl.gen++
+		gen := fl.gen
+		if len(fl.flows) == 0 {
+			return
+		}
+		next := math.Inf(1)
+		for _, f := range fl.flows {
+			rate := math.Inf(1)
+			for _, r := range f.res {
+				share := r.capacity / float64(r.active)
+				if share < rate {
+					rate = share
+				}
+			}
+			f.rate = rate
+			if rate > 0 {
+				if t := f.remaining / rate; t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			return // all flows stalled until a capacity change
+		}
+		now := fl.sim.Now()
+		if now+next > now {
+			fl.sim.After(next, func() {
+				if fl.gen != gen {
+					return // superseded by a later rebalance
+				}
+				fl.advance()
+				fl.rebalance()
+			})
+			return
+		}
+		// The earliest completion is below clock resolution: finish those
+		// flows now and recompute.
+		threshold := next * (1 + 1e-9)
+		var finished []*Flow
+		for _, f := range fl.flows {
+			if f.rate > 0 && f.remaining/f.rate <= threshold {
+				f.remaining = 0
+				finished = append(finished, f)
+			}
+		}
+		fl.complete(finished)
+	}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (fl *Fluid) ActiveFlows() int { return len(fl.flows) }

@@ -1,0 +1,108 @@
+// Package simclock provides a discrete-event simulation kernel: a virtual
+// clock with an event heap, processor-sharing fluid resources for modeling
+// bandwidth contention, FIFO servers for modeling serialized services such
+// as metadata servers, and counting slots for modeling CPU cores.
+//
+// All times are float64 seconds of virtual time. The kernel is
+// single-threaded and deterministic: events scheduled for the same instant
+// fire in scheduling order.
+package simclock
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	steps  int64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() int64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// clamps to the present.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative delays clamp to
+// zero.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event. It reports whether an event ran.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t if it has not passed it already.
+func (s *Sim) RunUntil(t float64) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,185 @@
+package storage
+
+// WriteBackCache layers an OS page cache over a device. Writes are
+// absorbed at memory bandwidth while the dirty window has space and
+// become the caller's completion point (buffered write semantics — this
+// is why early ShuffleMapTasks finish fast in the paper's Fig 8(d)); a
+// background flusher drains dirty pages to the device, freeing window
+// space for later writes, so under sustained pressure writes degrade
+// gradually to the device's drain rate. Reads of resident data run at
+// memory bandwidth; the resident fraction decays as cumulative writes
+// outgrow the cache.
+
+import (
+	"hpcmr/internal/simclock"
+)
+
+// flushChunk is the granularity of background write-back, in bytes.
+const flushChunk = 256e6
+
+// WriteBackCache is a page-cache model over a Device.
+type WriteBackCache struct {
+	sim      *simclock.Sim
+	fluid    *simclock.Fluid
+	memRes   *simclock.Res
+	dev      Device
+	capacity float64
+
+	totalWritten float64 // all bytes ever written through the cache
+	totalRead    float64
+	dirty        float64 // bytes awaiting write-back, <= capacity
+	flushing     bool
+}
+
+// NewWriteBackCache wraps dev with a page cache of the given capacity in
+// bytes. A capacity of zero disables absorption: all traffic goes to the
+// device directly.
+func NewWriteBackCache(sim *simclock.Sim, fluid *simclock.Fluid, dev Device, capacity float64) *WriteBackCache {
+	return &WriteBackCache{
+		sim:      sim,
+		fluid:    fluid,
+		memRes:   fluid.NewRes(dev.Name()+"/pagecache", MemoryBandwidth),
+		dev:      dev,
+		capacity: capacity,
+	}
+}
+
+// Write implements Device. The portion fitting in the dirty window
+// completes at memory bandwidth; the overflow writes through to the
+// device. done fires when both portions have completed.
+func (c *WriteBackCache) Write(size float64, done func()) {
+	c.totalWritten += size
+	absorb := c.capacity - c.dirty
+	if absorb < 0 {
+		absorb = 0
+	}
+	if absorb > size {
+		absorb = size
+	}
+	through := size - absorb
+
+	parts := 0
+	if absorb > 0 {
+		parts++
+	}
+	if through > 0 {
+		parts++
+	}
+	if parts == 0 {
+		// Zero-size write.
+		c.sim.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	remaining := parts
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	if absorb > 0 {
+		c.dirty += absorb
+		c.fluid.Start(absorb, func() {
+			c.kickFlusher()
+			finish()
+		}, c.memRes)
+	}
+	if through > 0 {
+		c.dev.Write(through, finish)
+	}
+}
+
+// kickFlusher starts the background write-back loop if it is idle.
+func (c *WriteBackCache) kickFlusher() {
+	if c.flushing || c.dirty <= 0 {
+		return
+	}
+	c.flushing = true
+	c.flushNext()
+}
+
+func (c *WriteBackCache) flushNext() {
+	chunk := c.dirty
+	if chunk > flushChunk {
+		chunk = flushChunk
+	}
+	if chunk <= 0 {
+		c.flushing = false
+		return
+	}
+	c.dev.Write(chunk, func() {
+		c.dirty -= chunk
+		if c.dirty < 0 {
+			c.dirty = 0
+		}
+		c.flushNext()
+	})
+}
+
+// ResidentFraction returns the fraction of previously written data still
+// cached, assuming uniform access: min(1, capacity/totalWritten).
+func (c *WriteBackCache) ResidentFraction() float64 {
+	if c.totalWritten <= 0 || c.capacity >= c.totalWritten {
+		return 1
+	}
+	return c.capacity / c.totalWritten
+}
+
+// Read implements Device: the resident fraction of the request is served
+// at memory bandwidth, the rest from the device.
+func (c *WriteBackCache) Read(size float64, done func()) {
+	c.totalRead += size
+	hit := size * c.ResidentFraction()
+	miss := size - hit
+
+	parts := 0
+	if hit > 0 {
+		parts++
+	}
+	if miss > 0 {
+		parts++
+	}
+	if parts == 0 {
+		c.sim.After(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	remaining := parts
+	finish := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	if hit > 0 {
+		c.fluid.Start(hit, finish, c.memRes)
+	}
+	if miss > 0 {
+		c.dev.Read(miss, finish)
+	}
+}
+
+// Name implements Device.
+func (c *WriteBackCache) Name() string { return c.dev.Name() + "+cache" }
+
+// BytesWritten implements Device.
+func (c *WriteBackCache) BytesWritten() float64 { return c.totalWritten }
+
+// BytesRead implements Device.
+func (c *WriteBackCache) BytesRead() float64 { return c.totalRead }
+
+// Capacity implements Device (the underlying device's capacity).
+func (c *WriteBackCache) Capacity() float64 { return c.dev.Capacity() }
+
+// Dirty returns the bytes currently awaiting write-back.
+func (c *WriteBackCache) Dirty() float64 { return c.dirty }
+
+// Device returns the wrapped device.
+func (c *WriteBackCache) Device() Device { return c.dev }

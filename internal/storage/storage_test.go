@@ -1,0 +1,304 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpcmr/internal/simclock"
+)
+
+func newSim() (*simclock.Sim, *simclock.Fluid) {
+	sim := simclock.New()
+	return sim, simclock.NewFluid(sim)
+}
+
+func TestRAMDiskWriteAtMemorySpeed(t *testing.T) {
+	sim, fluid := newSim()
+	rd := NewRAMDisk(fluid, "rd0", 32e9)
+	var end float64
+	rd.Write(MemoryBandwidth, func() { end = sim.Now() }) // exactly 1 second of work
+	sim.Run()
+	if math.Abs(end-1) > 1e-9 {
+		t.Fatalf("end = %v, want 1", end)
+	}
+	if rd.BytesWritten() != MemoryBandwidth {
+		t.Fatalf("BytesWritten = %v", rd.BytesWritten())
+	}
+}
+
+func TestRAMDiskOverflowDetection(t *testing.T) {
+	sim, fluid := newSim()
+	rd := NewRAMDisk(fluid, "rd0", 100)
+	rd.Write(60, nil)
+	sim.Run()
+	if rd.Overflowed() {
+		t.Fatal("overflowed too early")
+	}
+	rd.Write(60, nil)
+	sim.Run()
+	if !rd.Overflowed() {
+		t.Fatal("overflow not detected")
+	}
+}
+
+func TestSSDPeakWriteWhileClean(t *testing.T) {
+	sim, fluid := newSim()
+	spec := DefaultSSDSpec()
+	ssd := NewSSD(fluid, "ssd0", spec)
+	var end float64
+	ssd.Write(spec.WriteBandwidth, func() { end = sim.Now() }) // 1 s at peak
+	sim.Run()
+	if math.Abs(end-1) > 1e-6 {
+		t.Fatalf("end = %v, want ~1 (peak write while clean)", end)
+	}
+}
+
+func TestSSDReadFasterThanWrite(t *testing.T) {
+	sim, fluid := newSim()
+	spec := DefaultSSDSpec()
+	ssd := NewSSD(fluid, "ssd0", spec)
+	size := 1e9
+	var wEnd, rEnd float64
+	ssd.Write(size, func() {
+		wEnd = sim.Now()
+		ssd.Read(size, func() { rEnd = sim.Now() })
+	})
+	sim.Run()
+	writeTime := wEnd
+	readTime := rEnd - wEnd
+	if readTime >= writeTime {
+		t.Fatalf("read (%v) should be faster than write (%v)", readTime, writeTime)
+	}
+}
+
+func TestSSDGCDegradesWrites(t *testing.T) {
+	sim, fluid := newSim()
+	spec := DefaultSSDSpec()
+	spec.CleanPoolBytes = 1e9
+	spec.GCWindowBytes = 1e9
+	spec.WriteInterference = 0
+	ssd := NewSSD(fluid, "ssd0", spec)
+
+	// First write fills the clean pool at peak speed.
+	var t1, t2 float64
+	size := 1e9
+	ssd.Write(size, func() {
+		t1 = sim.Now()
+		// Second identical write runs with GC active.
+		ssd.Write(size, func() { t2 = sim.Now() })
+	})
+	sim.Run()
+	first := t1
+	second := t2 - t1
+	if second <= first*1.2 {
+		t.Fatalf("GC write (%v) should be substantially slower than clean write (%v)", second, first)
+	}
+	if !ssd.GCActive() {
+		t.Fatal("GC should be active after exceeding the clean pool")
+	}
+}
+
+func TestSSDWriteFloor(t *testing.T) {
+	sim, fluid := newSim()
+	spec := DefaultSSDSpec()
+	spec.CleanPoolBytes = 1e6
+	spec.GCWindowBytes = 1e6
+	spec.WriteInterference = 0
+	ssd := NewSSD(fluid, "ssd0", spec)
+	// Push far past the window; capacity must bottom out at the floor.
+	done := false
+	ssd.Write(1e9, func() {
+		ssd.Write(1e6, func() { done = true })
+	})
+	sim.Run()
+	if !done {
+		t.Fatal("writes did not complete")
+	}
+	want := spec.WriteBandwidth * spec.WriteFloorFraction
+	if math.Abs(ssd.WriteCapacity()-want) > want*1e-6 {
+		t.Fatalf("WriteCapacity = %v, want floor %v", ssd.WriteCapacity(), want)
+	}
+}
+
+func TestSSDInterferenceSlowsAggregate(t *testing.T) {
+	run := func(writers int) float64 {
+		sim, fluid := newSim()
+		spec := DefaultSSDSpec()
+		spec.CleanPoolBytes = 1e15 // no GC; isolate interference
+		spec.WriteInterference = 0.1
+		ssd := NewSSD(fluid, "ssd0", spec)
+		total := 387e6 * 4.0 // 4 s of aggregate work at peak
+		for i := 0; i < writers; i++ {
+			ssd.Write(total/float64(writers), nil)
+		}
+		sim.Run()
+		return sim.Now()
+	}
+	one := run(1)
+	eight := run(8)
+	if eight <= one*1.2 {
+		t.Fatalf("8 writers (%v) should be slower than 1 (%v) due to interference", eight, one)
+	}
+}
+
+func TestSSDGCFractionMonotonic(t *testing.T) {
+	_, fluid := newSim()
+	spec := DefaultSSDSpec()
+	ssd := NewSSD(fluid, "ssd0", spec)
+	f := func(a, b uint32) bool {
+		wa, wb := float64(a)*1e6, float64(b)*1e6
+		if wa > wb {
+			wa, wb = wb, wa
+		}
+		ssd.written = wa
+		fa := ssd.gcFraction(spec.WriteFloorFraction)
+		ssd.written = wb
+		fb := ssd.gcFraction(spec.WriteFloorFraction)
+		return fb <= fa && fb >= spec.WriteFloorFraction && fa <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheAbsorbsWithinCapacity(t *testing.T) {
+	sim, fluid := newSim()
+	ssd := NewSSD(fluid, "ssd0", DefaultSSDSpec())
+	c := NewWriteBackCache(sim, fluid, ssd, 10e9)
+	var end float64
+	c.Write(1e9, func() { end = sim.Now() })
+	sim.RunUntil(end + 1e-9)
+	// Absorbed at memory bandwidth: 1e9/3e9 s, far faster than SSD write.
+	deviceTime := 1e9 / 387e6
+	if end >= deviceTime/2 {
+		t.Fatalf("cached write took %v, want ~%v (memory speed)", end, 1e9/MemoryBandwidth)
+	}
+}
+
+func TestCacheWriteThroughWhenDirtyWindowFull(t *testing.T) {
+	sim, fluid := newSim()
+	spec := DefaultSSDSpec()
+	spec.CleanPoolBytes = 1e15
+	spec.WriteInterference = 0
+	spec.WriteAmplification = 0
+	ssd := NewSSD(fluid, "ssd0", spec)
+	c := NewWriteBackCache(sim, fluid, ssd, 1e9)
+	var first, second float64
+	c.Write(1e9, func() {
+		first = sim.Now()
+		// Issue the second write while the dirty window is still
+		// (mostly) full: it must write through at device speed.
+		c.Write(1e9, func() { second = sim.Now() - first })
+	})
+	sim.Run()
+	if second <= first*2 {
+		t.Fatalf("write-through (%v) should be much slower than absorbed (%v)", second, first)
+	}
+}
+
+func TestCacheWindowFreesAsFlusherDrains(t *testing.T) {
+	sim, fluid := newSim()
+	spec := DefaultSSDSpec()
+	spec.CleanPoolBytes = 1e15
+	ssd := NewSSD(fluid, "ssd0", spec)
+	c := NewWriteBackCache(sim, fluid, ssd, 1e9)
+	c.Write(1e9, nil) // fills the window
+	sim.Run()         // flusher drains fully
+	var third float64
+	start := sim.Now()
+	c.Write(1e9, func() { third = sim.Now() - start })
+	sim.RunUntil(start + 1)
+	// The drained window absorbs again at memory speed.
+	if third == 0 || third > 1e9/MemoryBandwidth*2 {
+		t.Fatalf("post-drain write took %v, want memory speed again", third)
+	}
+	sim.Run()
+}
+
+func TestCacheFlusherDrainsDirty(t *testing.T) {
+	sim, fluid := newSim()
+	ssd := NewSSD(fluid, "ssd0", DefaultSSDSpec())
+	c := NewWriteBackCache(sim, fluid, ssd, 10e9)
+	c.Write(2e9, nil)
+	sim.Run()
+	if c.Dirty() != 0 {
+		t.Fatalf("Dirty = %v after quiesce, want 0", c.Dirty())
+	}
+	if ssd.BytesWritten() < 2e9-1 {
+		t.Fatalf("device received %v bytes, want ~2e9 via flusher", ssd.BytesWritten())
+	}
+}
+
+func TestCacheResidentFraction(t *testing.T) {
+	sim, fluid := newSim()
+	ssd := NewSSD(fluid, "ssd0", DefaultSSDSpec())
+	c := NewWriteBackCache(sim, fluid, ssd, 1e9)
+	if f := c.ResidentFraction(); f != 1 {
+		t.Fatalf("empty cache ResidentFraction = %v, want 1", f)
+	}
+	c.Write(4e9, nil)
+	sim.Run()
+	if f := c.ResidentFraction(); math.Abs(f-0.25) > 1e-9 {
+		t.Fatalf("ResidentFraction = %v, want 0.25", f)
+	}
+}
+
+func TestCacheReadHitFasterThanMiss(t *testing.T) {
+	timeRead := func(capacity float64) float64 {
+		sim, fluid := newSim()
+		spec := DefaultSSDSpec()
+		spec.WriteInterference = 0
+		ssd := NewSSD(fluid, "ssd0", spec)
+		c := NewWriteBackCache(sim, fluid, ssd, capacity)
+		var start, end float64
+		c.Write(1e9, func() {
+			// Wait for flusher to quiesce before reading.
+		})
+		sim.Run()
+		start = sim.Now()
+		c.Read(1e9, func() { end = sim.Now() })
+		sim.Run()
+		return end - start
+	}
+	hit := timeRead(10e9) // fully resident
+	miss := timeRead(0)   // no cache
+	if hit >= miss/2 {
+		t.Fatalf("cache hit read (%v) should beat miss (%v)", hit, miss)
+	}
+}
+
+func TestCacheZeroSizeWrite(t *testing.T) {
+	sim, fluid := newSim()
+	ssd := NewSSD(fluid, "ssd0", DefaultSSDSpec())
+	c := NewWriteBackCache(sim, fluid, ssd, 1e9)
+	done := false
+	c.Write(0, func() { done = true })
+	sim.Run()
+	if !done {
+		t.Fatal("zero-size write never completed")
+	}
+}
+
+func TestCacheConservesBytesProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		sim, fluid := newSim()
+		ssd := NewSSD(fluid, "ssd0", DefaultSSDSpec())
+		c := NewWriteBackCache(sim, fluid, ssd, 5e5)
+		var total float64
+		for _, s := range sizes {
+			size := float64(s)
+			total += size
+			c.Write(size, nil)
+		}
+		sim.Run()
+		// All dirty data eventually drains; device + still-dirty == absorbed.
+		if c.Dirty() != 0 {
+			return false
+		}
+		return math.Abs(c.BytesWritten()-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

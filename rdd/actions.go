@@ -1,0 +1,191 @@
+package rdd
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+)
+
+// ErrEmpty is returned by Reduce/First on an empty RDD.
+var ErrEmpty = errors.New("rdd: empty collection")
+
+// Collect returns all elements, concatenated in partition order.
+func (r *RDD[T]) Collect() ([]T, error) {
+	var out []T
+	err := r.n.runJob("collect", func(_ int, vals []any) error {
+		for _, v := range vals {
+			out = append(out, v.(T))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() (int64, error) {
+	var n int64
+	err := r.n.runJob("count", func(_ int, vals []any) error {
+		n += int64(len(vals))
+		return nil
+	})
+	return n, err
+}
+
+// Reduce combines all elements with the associative function f.
+func (r *RDD[T]) Reduce(f func(T, T) T) (T, error) {
+	var acc T
+	have := false
+	err := r.n.runJob("reduce", func(_ int, vals []any) error {
+		for _, v := range vals {
+			if !have {
+				acc = v.(T)
+				have = true
+				continue
+			}
+			acc = f(acc, v.(T))
+		}
+		return nil
+	})
+	if err != nil {
+		return acc, err
+	}
+	if !have {
+		return acc, ErrEmpty
+	}
+	return acc, nil
+}
+
+// Fold combines all elements starting from zero.
+func (r *RDD[T]) Fold(zero T, f func(T, T) T) (T, error) {
+	acc := zero
+	err := r.n.runJob("fold", func(_ int, vals []any) error {
+		for _, v := range vals {
+			acc = f(acc, v.(T))
+		}
+		return nil
+	})
+	return acc, err
+}
+
+// Aggregate folds elements into an accumulator of a different type.
+func Aggregate[T, U any](r *RDD[T], zero U, seq func(U, T) U) (U, error) {
+	acc := zero
+	err := r.n.runJob("aggregate", func(_ int, vals []any) error {
+		for _, v := range vals {
+			acc = seq(acc, v.(T))
+		}
+		return nil
+	})
+	return acc, err
+}
+
+// Take returns up to n elements in partition order. The full lineage
+// runs (no incremental partition scan — documented trade-off of this
+// implementation).
+func (r *RDD[T]) Take(n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, 0, n)
+	err := r.n.runJob("take", func(_ int, vals []any) error {
+		for _, v := range vals {
+			if len(out) >= n {
+				return nil
+			}
+			out = append(out, v.(T))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// First returns the first element.
+func (r *RDD[T]) First() (T, error) {
+	var zero T
+	vs, err := r.Take(1)
+	if err != nil {
+		return zero, err
+	}
+	if len(vs) == 0 {
+		return zero, ErrEmpty
+	}
+	return vs[0], nil
+}
+
+// Foreach applies f to every element inside the executor tasks; f must
+// be safe for concurrent use.
+func (r *RDD[T]) Foreach(f func(T)) error {
+	// Wrap as a Map so f runs in tasks, then drain.
+	drained := Map(r, func(v T) struct{} { f(v); return struct{}{} })
+	return drained.n.runJob("foreach", func(_ int, _ []any) error { return nil })
+}
+
+// CountByValue returns how many times each element occurs.
+func CountByValue[T comparable](r *RDD[T]) (map[T]int64, error) {
+	out := make(map[T]int64)
+	err := r.n.runJob("countByValue", func(_ int, vals []any) error {
+		for _, v := range vals {
+			out[v.(T)]++
+		}
+		return nil
+	})
+	return out, err
+}
+
+// CountByKey returns the number of pairs per key.
+func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
+	out := make(map[K]int64)
+	err := r.n.runJob("countByKey", func(_ int, vals []any) error {
+		for _, v := range vals {
+			out[v.(Pair[K, V]).Key]++
+		}
+		return nil
+	})
+	return out, err
+}
+
+// CollectAsMap returns pair elements as a map (later pairs win on
+// duplicate keys).
+func CollectAsMap[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]V, error) {
+	out := make(map[K]V)
+	err := r.n.runJob("collectAsMap", func(_ int, vals []any) error {
+		for _, v := range vals {
+			p := v.(Pair[K, V])
+			out[p.Key] = p.Value
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Max returns the largest element of an ordered RDD.
+func Max[T cmp.Ordered](r *RDD[T]) (T, error) {
+	return r.Reduce(func(a, b T) T {
+		if a >= b {
+			return a
+		}
+		return b
+	})
+}
+
+// Min returns the smallest element of an ordered RDD.
+func Min[T cmp.Ordered](r *RDD[T]) (T, error) {
+	return r.Reduce(func(a, b T) T {
+		if a <= b {
+			return a
+		}
+		return b
+	})
+}
+
+// Sum adds all elements of a numeric RDD.
+func Sum[T int | int32 | int64 | float32 | float64](r *RDD[T]) (T, error) {
+	var zero T
+	return r.Fold(zero, func(a, b T) T { return a + b })
+}
+
+// String renders a short description.
+func (r *RDD[T]) String() string {
+	var zero T
+	return fmt.Sprintf("RDD[%T]{id=%d parts=%d}", zero, r.n.id, r.n.parts)
+}

@@ -1,0 +1,87 @@
+package rdd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hpcmr/engine"
+)
+
+// SaveAsGob checkpoints an RDD to dir as one gob-encoded part-NNNNN
+// file per partition. Unlike Cache (memory-resident, lost with the
+// context), a gob checkpoint survives the process and truncates lineage
+// when reloaded with LoadGob. T must be gob-encodable.
+func SaveAsGob[T any](r *RDD[T], dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("rdd: SaveAsGob: %w", err)
+	}
+	return r.n.runJob("saveAsGob", func(part int, vals []any) error {
+		typed := make([]T, len(vals))
+		for i, v := range vals {
+			typed[i] = v.(T)
+		}
+		name := filepath.Join(dir, fmt.Sprintf("part-%05d", part))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		enc := gob.NewEncoder(f)
+		if err := enc.Encode(typed); err != nil {
+			f.Close()
+			return fmt.Errorf("rdd: SaveAsGob part %d: %w", part, err)
+		}
+		return f.Close()
+	})
+}
+
+// LoadGob reads a checkpoint written by SaveAsGob: one partition per
+// part file, in name order. The element type must match the one saved.
+func LoadGob[T any](c *Context, dir string) (*RDD[T], error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: LoadGob: %w", err)
+	}
+	var parts []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "part-") && !e.IsDir() {
+			parts = append(parts, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("rdd: LoadGob: no part files in %s", dir)
+	}
+	sort.Strings(parts)
+	execs := c.Executors()
+	n := newNode(c, len(parts), nil, nil,
+		func(part int, _ *engine.TaskContext, sink func(any)) error {
+			f, err := os.Open(parts[part])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			var typed []T
+			if err := gob.NewDecoder(f).Decode(&typed); err != nil {
+				return fmt.Errorf("rdd: LoadGob part %d: %w", part, err)
+			}
+			for _, v := range typed {
+				sink(v)
+			}
+			return nil
+		},
+		func(part int) []int { return []int{part % execs} },
+	)
+	return &RDD[T]{n: n}, nil
+}
+
+// Checkpoint saves the RDD to dir and returns a new RDD reading from
+// the checkpoint — computation up to this point never reruns.
+func Checkpoint[T any](r *RDD[T], dir string) (*RDD[T], error) {
+	if err := SaveAsGob(r, dir); err != nil {
+		return nil, err
+	}
+	return LoadGob[T](r.n.ctx, dir)
+}

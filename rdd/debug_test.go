@@ -1,0 +1,116 @@
+package rdd
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	c := ctx(t)
+	base := Parallelize(c, ints(10), 2).Cache()
+	pairs := Map(base, func(v int) Pair[int, int] { return Pair[int, int]{v % 2, v} })
+	reduced := ReduceByKey(pairs, func(a, b int) int { return a + b }, 3)
+	out := reduced.Describe()
+	if !strings.Contains(out, "3 partitions") {
+		t.Fatalf("Describe missing reduced node:\n%s", out)
+	}
+	if !strings.Contains(out, "<shuffle into 3 partitions>") {
+		t.Fatalf("Describe missing shuffle edge:\n%s", out)
+	}
+	if !strings.Contains(out, "[cached]") {
+		t.Fatalf("Describe missing cache marker:\n%s", out)
+	}
+}
+
+func TestDotGraph(t *testing.T) {
+	c := ctx(t)
+	a := Parallelize(c, []Pair[int, string]{{1, "x"}}, 1)
+	b := Parallelize(c, []Pair[int, int]{{1, 2}}, 1)
+	joined := Join(a, b, 2)
+	dot := DotGraph(joined)
+	if !strings.HasPrefix(dot, "digraph lineage {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a digraph:\n%s", dot)
+	}
+	if strings.Count(dot, "style=dashed") != 2 {
+		t.Fatalf("join should show two shuffle edges:\n%s", dot)
+	}
+	if !strings.Contains(dot, "shape=box") {
+		t.Fatalf("missing node shapes:\n%s", dot)
+	}
+}
+
+// FuzzReadSplit fuzzes the TextFile split-boundary rule: for any file
+// content and partition count, the union of all splits must reproduce
+// exactly the file's lines — no loss, no duplication.
+func FuzzReadSplit(f *testing.F) {
+	f.Add("a\nb\nc", 2)
+	f.Add("", 1)
+	f.Add("\n\n\n", 3)
+	f.Add("single line no newline", 4)
+	f.Add("x\ny\n", 5)
+	f.Add(strings.Repeat("line\n", 50), 7)
+	f.Fuzz(func(t *testing.T, content string, parts int) {
+		if parts < 1 || parts > 16 || len(content) > 1<<16 {
+			t.Skip()
+		}
+		// Normalize: readSplit works on byte offsets of the raw file.
+		dir := t.TempDir()
+		path := dir + "/f.txt"
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		size := int64(len(content))
+		if size == 0 {
+			return
+		}
+		if int64(parts) > size {
+			parts = int(size)
+		}
+		var got []string
+		for p := 0; p < parts; p++ {
+			err := readSplit(path, size, p, parts, func(v any) {
+				got = append(got, v.(string))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := splitLines(content)
+		if len(got) != len(want) {
+			t.Fatalf("content %q parts %d: got %d lines %q, want %d %q",
+				content, parts, len(got), got, len(want), want)
+		}
+		// Order across splits is by offset; compare as multisets to be
+		// safe against permutations of equal-offset boundaries.
+		gm := map[string]int{}
+		for _, l := range got {
+			gm[l]++
+		}
+		for _, l := range want {
+			gm[l]--
+		}
+		for l, n := range gm {
+			if n != 0 {
+				t.Fatalf("content %q parts %d: line %q off by %d", content, parts, l, n)
+			}
+		}
+	})
+}
+
+// splitLines is the reference implementation: newline-terminated lines
+// without the terminator; a trailing fragment counts as a line.
+func splitLines(content string) []string {
+	if content == "" {
+		return nil
+	}
+	parts := strings.Split(content, "\n")
+	if parts[len(parts)-1] == "" {
+		parts = parts[:len(parts)-1]
+	}
+	return parts
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,223 @@
+package rdd
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+
+	"hpcmr/engine"
+)
+
+// ZipWithIndex pairs every element with its global index in partition
+// order. Like Spark, this runs an extra job first to learn per-partition
+// sizes.
+func ZipWithIndex[T any](r *RDD[T]) (*RDD[Pair[int64, T]], error) {
+	p := r.n
+	sizes := make([]int64, p.parts)
+	err := p.runJob("zipWithIndexSizes", func(part int, vals []any) error {
+		sizes[part] = int64(len(vals))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]int64, p.parts)
+	var off int64
+	for i := range sizes {
+		offsets[i] = off
+		off += sizes[i]
+	}
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			i := offsets[part]
+			return p.iterate(part, tc, func(v any) {
+				sink(Pair[int64, T]{Key: i, Value: v.(T)})
+				i++
+			})
+		}, p.preferred)
+	return &RDD[Pair[int64, T]]{n: n}, nil
+}
+
+// boundedTop keeps the n largest (or smallest) values seen.
+func boundedTop[T cmp.Ordered](acc []T, v T, n int, largest bool) []T {
+	acc = append(acc, v)
+	slices.Sort(acc)
+	if largest {
+		if len(acc) > n {
+			acc = acc[len(acc)-n:]
+		}
+	} else if len(acc) > n {
+		acc = acc[:n]
+	}
+	return acc
+}
+
+// Top returns the n largest elements in descending order. Each
+// partition keeps only its local top-n (a bounded selection, not a full
+// sort), then the driver merges.
+func Top[T cmp.Ordered](r *RDD[T], n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	partial := MapPartitions(r, func(_ int, vals []T) [][]T {
+		var acc []T
+		for _, v := range vals {
+			acc = boundedTop(acc, v, n, true)
+		}
+		return [][]T{acc}
+	})
+	chunks, err := partial.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var merged []T
+	for _, c := range chunks {
+		for _, v := range c {
+			merged = boundedTop(merged, v, n, true)
+		}
+	}
+	slices.Reverse(merged)
+	return merged, nil
+}
+
+// TakeOrdered returns the n smallest elements in ascending order.
+func TakeOrdered[T cmp.Ordered](r *RDD[T], n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	partial := MapPartitions(r, func(_ int, vals []T) [][]T {
+		var acc []T
+		for _, v := range vals {
+			acc = boundedTop(acc, v, n, false)
+		}
+		return [][]T{acc}
+	})
+	chunks, err := partial.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var merged []T
+	for _, c := range chunks {
+		for _, v := range c {
+			merged = boundedTop(merged, v, n, false)
+		}
+	}
+	return merged, nil
+}
+
+// Stats summarizes a numeric RDD.
+type Stats struct {
+	Count        int64
+	Min, Max     float64
+	Mean, Stddev float64
+	Sum          float64
+}
+
+// StatsOf computes count/min/max/mean/stddev in a single pass.
+func StatsOf(r *RDD[float64]) (Stats, error) {
+	type acc struct {
+		n        int64
+		min, max float64
+		sum, sq  float64
+	}
+	a, err := Aggregate(r, acc{min: math.Inf(1), max: math.Inf(-1)}, func(a acc, v float64) acc {
+		a.n++
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+		a.sum += v
+		a.sq += v * v
+		return a
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{Count: a.n, Min: a.min, Max: a.max, Sum: a.sum}
+	if a.n > 0 {
+		s.Mean = a.sum / float64(a.n)
+		variance := a.sq/float64(a.n) - s.Mean*s.Mean
+		if variance > 0 {
+			s.Stddev = math.Sqrt(variance)
+		}
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s, nil
+}
+
+// Histogram computes evenly spaced bucket counts over [min, max]. It
+// returns bucket edges (len buckets+1) and counts (len buckets). Values
+// equal to max land in the last bucket, as in Spark.
+func Histogram(r *RDD[float64], buckets int) ([]float64, []int64, error) {
+	if buckets < 1 {
+		return nil, nil, fmt.Errorf("rdd: Histogram needs at least one bucket")
+	}
+	st, err := StatsOf(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Count == 0 {
+		return nil, nil, fmt.Errorf("rdd: Histogram of an empty collection")
+	}
+	edges := make([]float64, buckets+1)
+	width := (st.Max - st.Min) / float64(buckets)
+	for i := range edges {
+		edges[i] = st.Min + float64(i)*width
+	}
+	edges[buckets] = st.Max
+	counts, err := Aggregate(r, make([]int64, buckets), func(acc []int64, v float64) []int64 {
+		var b int
+		if width > 0 {
+			b = int((v - st.Min) / width)
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		acc[b]++
+		return acc
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return edges, counts, nil
+}
+
+// Glom gathers each partition into a single slice element.
+func Glom[T any](r *RDD[T]) *RDD[[]T] {
+	return MapPartitions(r, func(_ int, vals []T) [][]T { return [][]T{vals} })
+}
+
+// TakeSample returns up to n elements sampled without replacement,
+// deterministically from seed. It collects a Bernoulli over-sample and
+// trims, so it may return fewer than n for small collections.
+func TakeSample[T any](r *RDD[T], n int, seed uint64) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	total, err := r.Count()
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	if int64(n) >= total {
+		return r.Collect()
+	}
+	frac := math.Min(1, 1.2*float64(n)/float64(total)+10/float64(total))
+	sample, err := r.Sample(frac, seed).Collect()
+	if err != nil {
+		return nil, err
+	}
+	if len(sample) > n {
+		sample = sample[:n]
+	}
+	return sample, nil
+}

@@ -1,0 +1,326 @@
+package rdd
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"hpcmr/engine"
+)
+
+func TestZipWithIndex(t *testing.T) {
+	c := ctx(t)
+	r := Parallelize(c, []string{"a", "b", "c", "d", "e"}, 3)
+	zipped, err := ZipWithIndex(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := zipped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		if p.Key != int64(i) {
+			t.Fatalf("index %d = %d", i, p.Key)
+		}
+	}
+	if got[4].Value != "e" {
+		t.Fatalf("value order broken: %v", got)
+	}
+}
+
+func TestZipWithIndexProperty(t *testing.T) {
+	f := func(n uint8, parts uint8) bool {
+		c, err := NewContext(engine.Config{Executors: 2, CoresPerExecutor: 2})
+		if err != nil {
+			return false
+		}
+		defer c.Stop()
+		data := ints(int(n%100) + 1)
+		r := Parallelize(c, data, int(parts%7)+1)
+		z, err := ZipWithIndex(r)
+		if err != nil {
+			return false
+		}
+		got, err := z.Collect()
+		if err != nil {
+			return false
+		}
+		for i, p := range got {
+			if p.Key != int64(i) || p.Value != i {
+				return false
+			}
+		}
+		return len(got) == len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopAndTakeOrdered(t *testing.T) {
+	c := ctx(t)
+	rng := rand.New(rand.NewSource(4))
+	data := rng.Perm(500)
+	r := Parallelize(c, data, 7)
+	top, err := Top(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(top, []int{499, 498, 497, 496, 495}) {
+		t.Fatalf("Top = %v", top)
+	}
+	low, err := TakeOrdered(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(low, []int{0, 1, 2}) {
+		t.Fatalf("TakeOrdered = %v", low)
+	}
+	if empty, _ := Top(r, 0); empty != nil {
+		t.Fatalf("Top(0) = %v", empty)
+	}
+}
+
+func TestTopMoreThanElements(t *testing.T) {
+	c := ctx(t)
+	r := Parallelize(c, []int{3, 1, 2}, 2)
+	top, err := Top(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(top, []int{3, 2, 1}) {
+		t.Fatalf("Top = %v", top)
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	c := ctx(t)
+	r := Parallelize(c, []float64{2, 4, 4, 4, 5, 5, 7, 9}, 3)
+	s, err := StatsOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 8 || s.Min != 2 || s.Max != 9 || s.Mean != 5 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if math.Abs(s.Stddev-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", s.Stddev)
+	}
+}
+
+func TestStatsOfEmpty(t *testing.T) {
+	c := ctx(t)
+	s, err := StatsOf(Parallelize(c, []float64{}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty Stats = %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	c := ctx(t)
+	var data []float64
+	for i := 0; i < 100; i++ {
+		data = append(data, float64(i))
+	}
+	r := Parallelize(c, data, 4)
+	edges, counts, err := Histogram(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 5 || len(counts) != 4 {
+		t.Fatalf("edges=%d counts=%d", len(edges), len(counts))
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("histogram total = %d", total)
+	}
+	// Max value must land in the last bucket.
+	if counts[3] != 25+1-1 && counts[3] != 26 { // 75..99 => 25 values incl. max
+		if counts[3] != 25 {
+			t.Fatalf("last bucket = %d", counts[3])
+		}
+	}
+	if _, _, err := Histogram(r, 0); err == nil {
+		t.Fatal("Histogram(0 buckets) should fail")
+	}
+	if _, _, err := Histogram(Parallelize(c, []float64{}, 1), 3); err == nil {
+		t.Fatal("Histogram of empty should fail")
+	}
+}
+
+func TestHistogramCountsConservedProperty(t *testing.T) {
+	f := func(raw []float64, b uint8) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c, err := NewContext(engine.Config{Executors: 2, CoresPerExecutor: 1})
+		if err != nil {
+			return false
+		}
+		defer c.Stop()
+		buckets := int(b%8) + 1
+		_, counts, err := Histogram(Parallelize(c, clean, 3), buckets)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, n := range counts {
+			if n < 0 {
+				return false
+			}
+			total += n
+		}
+		return total == int64(len(clean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlom(t *testing.T) {
+	c := ctx(t)
+	r := Parallelize(c, ints(10), 2)
+	chunks, err := Glom(r).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 2 || len(chunks[0])+len(chunks[1]) != 10 {
+		t.Fatalf("Glom = %v", chunks)
+	}
+}
+
+func TestTakeSample(t *testing.T) {
+	c := ctx(t)
+	r := Parallelize(c, ints(1000), 5)
+	s, err := TakeSample(r, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 || len(s) > 10 {
+		t.Fatalf("TakeSample len = %d", len(s))
+	}
+	// n >= total returns everything.
+	all, err := TakeSample(Parallelize(c, ints(5), 2), 10, 3)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("TakeSample(all) = %d, %v", len(all), err)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	c := ctx(t)
+	counter := NewCounter(c)
+	sum := NewAccumulator(c, 0.0, func(a, b float64) float64 { return a + b })
+	r := Parallelize(c, ints(100), 8)
+	err := r.Foreach(func(v int) {
+		counter.Add(1)
+		sum.Add(float64(v))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Value() != 100 {
+		t.Fatalf("counter = %d", counter.Value())
+	}
+	if sum.Value() != 4950 {
+		t.Fatalf("sum = %v", sum.Value())
+	}
+	counter.Reset(0)
+	if counter.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := ctx(t)
+	lookup := NewBroadcast(c, map[int]string{1: "one", 2: "two"})
+	r := Parallelize(c, []int{1, 2, 1}, 2)
+	names, err := Map(r, func(v int) string { return lookup.Value()[v] }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"one", "two", "one"}) {
+		t.Fatalf("broadcast map = %v", names)
+	}
+}
+
+func TestGobCheckpointRoundTrip(t *testing.T) {
+	c := ctx(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	type rec struct {
+		ID   int
+		Name string
+	}
+	data := []rec{{1, "a"}, {2, "b"}, {3, "c"}, {4, "d"}}
+	r := Parallelize(c, data, 3)
+	if err := SaveAsGob(r, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGob[rec](c, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Partitions() != 3 {
+		t.Fatalf("partitions = %d, want 3", loaded.Partitions())
+	}
+	got, err := loaded.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestCheckpointTruncatesLineage(t *testing.T) {
+	c := ctx(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	var computes int64
+	r := Map(Parallelize(c, ints(10), 2), func(v int) int {
+		atomic.AddInt64(&computes, 1)
+		return v * 2
+	})
+	ck, err := Checkpoint(r, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := atomic.LoadInt64(&computes)
+	if _, err := ck.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&computes) != before {
+		t.Fatal("checkpointed RDD recomputed its lineage")
+	}
+	got, _ := ck.Collect()
+	slices.Sort(got)
+	if got[0] != 0 || got[9] != 18 {
+		t.Fatalf("checkpoint data = %v", got)
+	}
+}
+
+func TestLoadGobMissingDir(t *testing.T) {
+	c := ctx(t)
+	if _, err := LoadGob[int](c, "/nonexistent/ckpt"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := LoadGob[int](c, t.TempDir()); err == nil {
+		t.Fatal("expected error for empty dir")
+	}
+}

@@ -1,0 +1,115 @@
+package rdd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hpcmr/engine"
+)
+
+// TextFile reads a local file as an RDD of lines, split into parts byte
+// ranges aligned on line boundaries: each task seeks to its range,
+// skips the partial first line (owned by the previous split), and reads
+// through the end of the line straddling its upper bound — the
+// HDFS-split convention.
+func TextFile(c *Context, path string, parts int) (*RDD[string], error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: TextFile: %w", err)
+	}
+	size := info.Size()
+	if parts <= 0 {
+		parts = c.Executors()
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if int64(parts) > size && size > 0 {
+		parts = int(size)
+	}
+	execs := c.Executors()
+	n := newNode(c, parts, nil, nil,
+		func(part int, _ *engine.TaskContext, sink func(any)) error {
+			return readSplit(path, size, part, parts, sink)
+		},
+		func(part int) []int { return []int{part % execs} },
+	)
+	return &RDD[string]{n: n}, nil
+}
+
+// readSplit streams the lines owned by one split.
+func readSplit(path string, size int64, part, parts int, sink func(any)) error {
+	lo := size * int64(part) / int64(parts)
+	hi := size * int64(part+1) / int64(parts)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(lo, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(f, 256<<10)
+	pos := lo
+	if lo > 0 {
+		// Skip the first (possibly partial) line: it belongs to the
+		// previous split, which reads through its upper boundary.
+		skipped, err := r.ReadString('\n')
+		pos += int64(len(skipped))
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// A line belongs to this split when it starts at pos <= hi; the
+	// next split skips it as its first line.
+	for pos <= hi {
+		line, err := r.ReadString('\n')
+		if len(line) > 0 {
+			pos += int64(len(line))
+			if line[len(line)-1] == '\n' {
+				line = line[:len(line)-1]
+			}
+			sink(line)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveAsTextFile writes one part-NNNNN file per partition under dir
+// (created if absent), one element per line via fmt.Sprint.
+func SaveAsTextFile[T any](r *RDD[T], dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("rdd: SaveAsTextFile: %w", err)
+	}
+	return r.n.runJob("saveAsTextFile", func(part int, vals []any) error {
+		name := filepath.Join(dir, fmt.Sprintf("part-%05d", part))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, v := range vals {
+			if _, err := fmt.Fprintln(w, v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+}

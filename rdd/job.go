@@ -1,0 +1,140 @@
+package rdd
+
+import (
+	"fmt"
+
+	"hpcmr/engine"
+)
+
+// fullyCached reports whether every partition of n is already resident,
+// in which case its lineage does not need to run.
+func (n *node) fullyCached() bool {
+	n.cacheMu.Lock()
+	defer n.cacheMu.Unlock()
+	if !n.cached {
+		return false
+	}
+	for _, ok := range n.cacheOK {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// collectDeps gathers the unmaterialized shuffle dependencies reachable
+// from n, parents first.
+func collectDeps(n *node, seen map[*shuffleDep]bool, out *[]*shuffleDep) {
+	if n.fullyCached() {
+		return
+	}
+	for _, p := range n.parents {
+		collectDeps(p, seen, out)
+	}
+	for _, d := range n.deps {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		collectDeps(d.parent, seen, out)
+		d.mu.Lock()
+		done := d.materialized
+		d.mu.Unlock()
+		if !done {
+			*out = append(*out, d)
+		}
+	}
+}
+
+// materialize runs the map stage of one shuffle dependency.
+func (c *Context) materialize(d *shuffleDep) error {
+	d.mu.Lock()
+	if d.materialized {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	parent := d.parent
+	id := c.rt.Shuffle().Register(parent.parts, d.reduceParts)
+	tasks := make([]engine.TaskSpec, parent.parts)
+	for p := range tasks {
+		p := p
+		var pref []int
+		if parent.preferred != nil {
+			pref = parent.preferred(p)
+		}
+		tasks[p] = engine.TaskSpec{
+			Preferred: pref,
+			Run: func(tc *engine.TaskContext) error {
+				var vals []any
+				if err := parent.iterate(p, tc, func(v any) { vals = append(vals, v) }); err != nil {
+					return err
+				}
+				buckets := d.write(vals)
+				count := 0
+				for _, b := range buckets {
+					count += len(b)
+				}
+				// A coarse volume proxy feeds the load balancer.
+				tc.AddShuffleBytes(float64(count) * 48)
+				return c.rt.Shuffle().Put(id, p, buckets)
+			},
+		}
+	}
+	if err := c.rt.RunStage(fmt.Sprintf("shufflemap-%d", id), tasks); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.engineID = id
+	d.materialized = true
+	d.mu.Unlock()
+	return nil
+}
+
+// runJob materializes n's lineage and runs the result stage, delivering
+// each partition's boxed values to gather (called from the driver
+// goroutine, in partition order).
+func (n *node) runJob(name string, gather func(part int, vals []any) error) error {
+	c := n.ctx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var deps []*shuffleDep
+	collectDeps(n, map[*shuffleDep]bool{}, &deps)
+	for _, d := range deps {
+		if err := c.materialize(d); err != nil {
+			return err
+		}
+	}
+
+	results := make([][]any, n.parts)
+	tasks := make([]engine.TaskSpec, n.parts)
+	for p := range tasks {
+		p := p
+		var pref []int
+		if n.preferred != nil {
+			pref = n.preferred(p)
+		}
+		tasks[p] = engine.TaskSpec{
+			Preferred: pref,
+			Run: func(tc *engine.TaskContext) error {
+				var vals []any
+				if err := n.iterate(p, tc, func(v any) { vals = append(vals, v) }); err != nil {
+					return err
+				}
+				results[p] = vals
+				return nil
+			},
+		}
+	}
+	if err := c.rt.RunStage(name, tasks); err != nil {
+		return err
+	}
+	for p, vals := range results {
+		if err := gather(p, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}

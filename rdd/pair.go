@@ -1,0 +1,353 @@
+package rdd
+
+import (
+	"cmp"
+	"hash/maphash"
+	"slices"
+
+	"hpcmr/engine"
+)
+
+// Pair is a key/value record — the currency of shuffle operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// JoinValue holds one matched pair from Join.
+type JoinValue[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// CoGrouped holds the grouped values of both sides of CoGroup.
+type CoGrouped[V, W any] struct {
+	Left  []V
+	Right []W
+}
+
+// bucketFor hashes a key to a reduce partition.
+func bucketFor[K comparable](c *Context, k K, parts int) int {
+	return int(maphash.Comparable(c.seed, k) % uint64(parts))
+}
+
+// hashWriter partitions boxed Pair[K,V] values by key hash.
+func hashWriter[K comparable, V any](c *Context, parts int) func([]any) [][]any {
+	return func(vals []any) [][]any {
+		buckets := make([][]any, parts)
+		for _, v := range vals {
+			p := v.(Pair[K, V])
+			i := bucketFor(c, p.Key, parts)
+			buckets[i] = append(buckets[i], v)
+		}
+		return buckets
+	}
+}
+
+// defaultParts resolves a partition-count argument.
+func defaultParts(r *node, parts int) int {
+	if parts <= 0 {
+		return r.parts
+	}
+	return parts
+}
+
+// GroupByKey shuffles pairs so each key's values are grouped in one
+// partition. Key order within a partition is first-seen order, making
+// results deterministic for a given input ordering.
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K, []V]] {
+	c := r.n.ctx
+	parts = defaultParts(r.n, parts)
+	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
+	n := newNode(c, parts, nil, []*shuffleDep{dep},
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			if err != nil {
+				return err
+			}
+			idx := make(map[K]int)
+			var order []K
+			var lists [][]V
+			for _, chunk := range chunks {
+				for _, v := range chunk {
+					p := v.(Pair[K, V])
+					i, ok := idx[p.Key]
+					if !ok {
+						i = len(order)
+						idx[p.Key] = i
+						order = append(order, p.Key)
+						lists = append(lists, nil)
+					}
+					lists[i] = append(lists[i], p.Value)
+				}
+			}
+			for i, k := range order {
+				sink(Pair[K, []V]{Key: k, Value: lists[i]})
+			}
+			return nil
+		}, nil)
+	return &RDD[Pair[K, []V]]{n: n}
+}
+
+// CombineByKey is the general aggregation shuffle: createCombiner seeds
+// a per-key accumulator, mergeValue folds map-side values into it
+// (map-side combining shrinks shuffle volume, as in Spark), and
+// mergeCombiners merges accumulators reduce-side.
+func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], parts int,
+	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C) *RDD[Pair[K, C]] {
+	c := r.n.ctx
+	parts = defaultParts(r.n, parts)
+	dep := &shuffleDep{
+		parent:      r.n,
+		reduceParts: parts,
+		write: func(vals []any) [][]any {
+			// Map-side combine into per-key accumulators, then bucket.
+			idx := make(map[K]int)
+			var order []K
+			var accs []C
+			for _, v := range vals {
+				p := v.(Pair[K, V])
+				i, ok := idx[p.Key]
+				if !ok {
+					idx[p.Key] = len(order)
+					order = append(order, p.Key)
+					accs = append(accs, createCombiner(p.Value))
+					continue
+				}
+				accs[i] = mergeValue(accs[i], p.Value)
+			}
+			buckets := make([][]any, parts)
+			for i, k := range order {
+				b := bucketFor(c, k, parts)
+				buckets[b] = append(buckets[b], Pair[K, C]{Key: k, Value: accs[i]})
+			}
+			return buckets
+		},
+	}
+	n := newNode(c, parts, nil, []*shuffleDep{dep},
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			if err != nil {
+				return err
+			}
+			idx := make(map[K]int)
+			var order []K
+			var accs []C
+			for _, chunk := range chunks {
+				for _, v := range chunk {
+					p := v.(Pair[K, C])
+					i, ok := idx[p.Key]
+					if !ok {
+						idx[p.Key] = len(order)
+						order = append(order, p.Key)
+						accs = append(accs, p.Value)
+						continue
+					}
+					accs[i] = mergeCombiners(accs[i], p.Value)
+				}
+			}
+			for i, k := range order {
+				sink(Pair[K, C]{Key: k, Value: accs[i]})
+			}
+			return nil
+		}, nil)
+	return &RDD[Pair[K, C]]{n: n}
+}
+
+// ReduceByKey merges each key's values with f (associative).
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, parts int) *RDD[Pair[K, V]] {
+	return CombineByKey(r, parts,
+		func(v V) V { return v },
+		func(acc, v V) V { return f(acc, v) },
+		f)
+}
+
+// PartitionBy re-distributes pairs by key hash without aggregation.
+func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K, V]] {
+	c := r.n.ctx
+	parts = defaultParts(r.n, parts)
+	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
+	n := newNode(c, parts, nil, []*shuffleDep{dep},
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			if err != nil {
+				return err
+			}
+			for _, chunk := range chunks {
+				for _, v := range chunk {
+					sink(v)
+				}
+			}
+			return nil
+		}, nil)
+	return &RDD[Pair[K, V]]{n: n}
+}
+
+// CoGroup groups both RDDs' values per key: the result holds, for every
+// key present in either side, all left values and all right values.
+func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], parts int) *RDD[Pair[K, CoGrouped[V, W]]] {
+	c := a.n.ctx
+	if b.n.ctx != c {
+		panic("rdd: CoGroup across contexts")
+	}
+	parts = defaultParts(a.n, parts)
+	depA := &shuffleDep{parent: a.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
+	depB := &shuffleDep{parent: b.n, reduceParts: parts, write: hashWriter[K, W](c, parts)}
+	n := newNode(c, parts, nil, []*shuffleDep{depA, depB},
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			idx := make(map[K]int)
+			var order []K
+			var groups []CoGrouped[V, W]
+			locate := func(k K) int {
+				i, ok := idx[k]
+				if !ok {
+					i = len(order)
+					idx[k] = i
+					order = append(order, k)
+					groups = append(groups, CoGrouped[V, W]{})
+				}
+				return i
+			}
+			chunksA, err := c.rt.Shuffle().Fetch(depA.engineID, part)
+			if err != nil {
+				return err
+			}
+			for _, chunk := range chunksA {
+				for _, v := range chunk {
+					p := v.(Pair[K, V])
+					i := locate(p.Key)
+					groups[i].Left = append(groups[i].Left, p.Value)
+				}
+			}
+			chunksB, err := c.rt.Shuffle().Fetch(depB.engineID, part)
+			if err != nil {
+				return err
+			}
+			for _, chunk := range chunksB {
+				for _, v := range chunk {
+					p := v.(Pair[K, W])
+					i := locate(p.Key)
+					groups[i].Right = append(groups[i].Right, p.Value)
+				}
+			}
+			for i, k := range order {
+				sink(Pair[K, CoGrouped[V, W]]{Key: k, Value: groups[i]})
+			}
+			return nil
+		}, nil)
+	return &RDD[Pair[K, CoGrouped[V, W]]]{n: n}
+}
+
+// Join inner-joins two pair RDDs on key, emitting every left/right
+// combination.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], parts int) *RDD[Pair[K, JoinValue[V, W]]] {
+	cg := CoGroup(a, b, parts)
+	return FlatMap(cg, func(p Pair[K, CoGrouped[V, W]]) []Pair[K, JoinValue[V, W]] {
+		if len(p.Value.Left) == 0 || len(p.Value.Right) == 0 {
+			return nil
+		}
+		out := make([]Pair[K, JoinValue[V, W]], 0, len(p.Value.Left)*len(p.Value.Right))
+		for _, v := range p.Value.Left {
+			for _, w := range p.Value.Right {
+				out = append(out, Pair[K, JoinValue[V, W]]{Key: p.Key, Value: JoinValue[V, W]{Left: v, Right: w}})
+			}
+		}
+		return out
+	})
+}
+
+// Distinct removes duplicate elements (via a shuffle).
+func Distinct[T comparable](r *RDD[T]) *RDD[T] {
+	pairs := Map(r, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	reduced := ReduceByKey(pairs, func(a, _ struct{}) struct{} { return a }, r.n.parts)
+	return Map(reduced, func(p Pair[T, struct{}]) T { return p.Key })
+}
+
+// Keys projects the keys of a pair RDD.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
+	return Map(r, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair RDD.
+func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
+	return Map(r, func(p Pair[K, V]) V { return p.Value })
+}
+
+// MapValues transforms values, keeping keys.
+func MapValues[K comparable, V, U any](r *RDD[Pair[K, V]], f func(V) U) *RDD[Pair[K, U]] {
+	return Map(r, func(p Pair[K, V]) Pair[K, U] { return Pair[K, U]{Key: p.Key, Value: f(p.Value)} })
+}
+
+// SortByKey globally sorts a pair RDD by key using range partitioning
+// over a sampled key distribution (this runs a sampling job eagerly,
+// like Spark's sortByKey) followed by per-partition sorts.
+func SortByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], parts int, ascending bool) (*RDD[Pair[K, V]], error) {
+	c := r.n.ctx
+	parts = defaultParts(r.n, parts)
+	keys, err := Keys(r).Sample(0.1, 42).Collect()
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) < parts*4 {
+		// Thin sample: fall back to all keys.
+		keys, err = Keys(r).Collect()
+		if err != nil {
+			return nil, err
+		}
+	}
+	slices.Sort(keys)
+	bounds := make([]K, 0, parts-1)
+	for i := 1; i < parts; i++ {
+		if len(keys) == 0 {
+			break
+		}
+		bounds = append(bounds, keys[i*len(keys)/parts])
+	}
+	rangeOf := func(k K) int {
+		lo, _ := slices.BinarySearch(bounds, k)
+		if !ascending {
+			lo = len(bounds) - lo
+		}
+		if lo >= parts {
+			lo = parts - 1
+		}
+		return lo
+	}
+	dep := &shuffleDep{
+		parent:      r.n,
+		reduceParts: parts,
+		write: func(vals []any) [][]any {
+			buckets := make([][]any, parts)
+			for _, v := range vals {
+				p := v.(Pair[K, V])
+				i := rangeOf(p.Key)
+				buckets[i] = append(buckets[i], v)
+			}
+			return buckets
+		},
+	}
+	n := newNode(c, parts, nil, []*shuffleDep{dep},
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			if err != nil {
+				return err
+			}
+			var all []Pair[K, V]
+			for _, chunk := range chunks {
+				for _, v := range chunk {
+					all = append(all, v.(Pair[K, V]))
+				}
+			}
+			slices.SortStableFunc(all, func(x, y Pair[K, V]) int {
+				if ascending {
+					return cmp.Compare(x.Key, y.Key)
+				}
+				return cmp.Compare(y.Key, x.Key)
+			})
+			for _, p := range all {
+				sink(p)
+			}
+			return nil
+		}, nil)
+	return &RDD[Pair[K, V]]{n: n}, nil
+}

@@ -1,0 +1,376 @@
+// Package rdd is a memory-resident Resilient Distributed Dataset library
+// in the style of Spark (Zaharia et al., NSDI'12), executing on the
+// local multi-executor runtime of package engine.
+//
+// An RDD is a lazily evaluated, partitioned collection with a lineage of
+// narrow transformations (Map, Filter, FlatMap, Union, ...) pipelined
+// inside stages, and shuffle transformations (GroupByKey, ReduceByKey,
+// Join, SortByKey, ...) that split the job into stages connected through
+// an in-memory shuffle. Actions (Collect, Count, Reduce, ...) trigger
+// execution: parent shuffle stages run first, in dependency order, then
+// the result stage computes the action.
+//
+// Cache() keeps computed partitions in memory across jobs — the
+// memory-resident feature that makes iterative workloads (logistic
+// regression, k-means) fast.
+//
+// The package is safe for use from a single driver goroutine; jobs are
+// internally serialized per Context.
+package rdd
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"hpcmr/engine"
+)
+
+// Context owns a runtime and the lineage graph built on it.
+type Context struct {
+	rt   *engine.Runtime
+	seed maphash.Seed
+
+	mu     sync.Mutex // serializes jobs and ID allocation
+	nextID int
+}
+
+// NewContext starts a context over a fresh runtime.
+func NewContext(cfg engine.Config) (*Context, error) {
+	rt, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{rt: rt, seed: maphash.MakeSeed()}, nil
+}
+
+// Runtime exposes the underlying engine (metrics, configuration).
+func (c *Context) Runtime() *engine.Runtime { return c.rt }
+
+// Stop shuts the context down; subsequent actions fail.
+func (c *Context) Stop() { c.rt.Close() }
+
+// Executors returns the runtime's executor count.
+func (c *Context) Executors() int { return c.rt.Config().Executors }
+
+func (c *Context) newID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// shuffleDep connects a map-side node to a shuffled node.
+type shuffleDep struct {
+	parent      *node
+	reduceParts int
+	// write partitions one map partition's boxed values into
+	// reduceParts buckets (applying map-side combining when the
+	// operation supports it).
+	write func(vals []any) [][]any
+
+	mu           sync.Mutex
+	engineID     int
+	materialized bool
+}
+
+// node is the untyped plan node beneath every RDD.
+type node struct {
+	ctx     *Context
+	id      int
+	parts   int
+	parents []*node       // narrow dependencies
+	deps    []*shuffleDep // shuffle dependencies feeding this node
+	// compute produces partition part's boxed values into sink.
+	compute func(part int, tc *engine.TaskContext, sink func(any)) error
+	// preferred lists executor IDs holding partition part (may be nil).
+	preferred func(part int) []int
+
+	cacheMu   sync.Mutex
+	cached    bool
+	cacheData [][]any
+	cacheOK   []bool
+}
+
+// RDD is a typed, lazily evaluated partitioned collection.
+type RDD[T any] struct {
+	n *node
+}
+
+// Partitions returns the RDD's partition count.
+func (r *RDD[T]) Partitions() int { return r.n.parts }
+
+// Context returns the owning context.
+func (r *RDD[T]) Context() *Context { return r.n.ctx }
+
+// Cache marks the RDD memory-resident: each partition is kept after its
+// first computation and reused by later jobs. Returns the receiver.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.n.cacheMu.Lock()
+	defer r.n.cacheMu.Unlock()
+	if !r.n.cached {
+		r.n.cached = true
+		r.n.cacheData = make([][]any, r.n.parts)
+		r.n.cacheOK = make([]bool, r.n.parts)
+	}
+	return r
+}
+
+// Uncache drops cached partitions.
+func (r *RDD[T]) Uncache() {
+	r.n.cacheMu.Lock()
+	defer r.n.cacheMu.Unlock()
+	r.n.cached = false
+	r.n.cacheData = nil
+	r.n.cacheOK = nil
+}
+
+// iterate produces partition part, serving and populating the cache.
+func (n *node) iterate(part int, tc *engine.TaskContext, sink func(any)) error {
+	n.cacheMu.Lock()
+	if n.cached && n.cacheOK[part] {
+		data := n.cacheData[part]
+		n.cacheMu.Unlock()
+		for _, v := range data {
+			sink(v)
+		}
+		return nil
+	}
+	caching := n.cached
+	n.cacheMu.Unlock()
+
+	if !caching {
+		return n.compute(part, tc, sink)
+	}
+	var buf []any
+	if err := n.compute(part, tc, func(v any) {
+		buf = append(buf, v)
+		sink(v)
+	}); err != nil {
+		return err
+	}
+	n.cacheMu.Lock()
+	if n.cached && !n.cacheOK[part] {
+		n.cacheData[part] = buf
+		n.cacheOK[part] = true
+	}
+	n.cacheMu.Unlock()
+	return nil
+}
+
+// newNode allocates a plan node.
+func newNode(ctx *Context, parts int, parents []*node, deps []*shuffleDep,
+	compute func(int, *engine.TaskContext, func(any)) error,
+	preferred func(int) []int) *node {
+	return &node{
+		ctx:       ctx,
+		id:        ctx.newID(),
+		parts:     parts,
+		parents:   parents,
+		deps:      deps,
+		compute:   compute,
+		preferred: preferred,
+	}
+}
+
+// ---- sources ----
+
+// Parallelize distributes data across parts partitions. parts <= 0 uses
+// one partition per executor.
+func Parallelize[T any](c *Context, data []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = c.Executors()
+	}
+	if parts > len(data) && len(data) > 0 {
+		parts = len(data)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	chunks := make([][]T, parts)
+	for i := range chunks {
+		lo := i * len(data) / parts
+		hi := (i + 1) * len(data) / parts
+		chunks[i] = data[lo:hi]
+	}
+	execs := c.Executors()
+	n := newNode(c, parts, nil, nil,
+		func(part int, _ *engine.TaskContext, sink func(any)) error {
+			for _, v := range chunks[part] {
+				sink(v)
+			}
+			return nil
+		},
+		func(part int) []int { return []int{part % execs} },
+	)
+	return &RDD[T]{n: n}
+}
+
+// Range returns the integers [start, end) as an RDD.
+func Range(c *Context, start, end int64, parts int) *RDD[int64] {
+	total := end - start
+	if total < 0 {
+		total = 0
+	}
+	if parts <= 0 {
+		parts = c.Executors()
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	execs := c.Executors()
+	n := newNode(c, parts, nil, nil,
+		func(part int, _ *engine.TaskContext, sink func(any)) error {
+			lo := start + total*int64(part)/int64(parts)
+			hi := start + total*int64(part+1)/int64(parts)
+			for v := lo; v < hi; v++ {
+				sink(v)
+			}
+			return nil
+		},
+		func(part int) []int { return []int{part % execs} },
+	)
+	return &RDD[int64]{n: n}
+}
+
+// ---- narrow transformations ----
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	p := r.n
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			return p.iterate(part, tc, func(v any) { sink(f(v.(T))) })
+		}, p.preferred)
+	return &RDD[U]{n: n}
+}
+
+// FlatMap applies f and flattens the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	p := r.n
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			return p.iterate(part, tc, func(v any) {
+				for _, u := range f(v.(T)) {
+					sink(u)
+				}
+			})
+		}, p.preferred)
+	return &RDD[U]{n: n}
+}
+
+// MapPartitions transforms each partition as a whole.
+func MapPartitions[T, U any](r *RDD[T], f func(part int, vals []T) []U) *RDD[U] {
+	p := r.n
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			var vals []T
+			if err := p.iterate(part, tc, func(v any) { vals = append(vals, v.(T)) }); err != nil {
+				return err
+			}
+			for _, u := range f(part, vals) {
+				sink(u)
+			}
+			return nil
+		}, p.preferred)
+	return &RDD[U]{n: n}
+}
+
+// Filter keeps elements satisfying pred.
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	p := r.n
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			return p.iterate(part, tc, func(v any) {
+				if pred(v.(T)) {
+					sink(v)
+				}
+			})
+		}, p.preferred)
+	return &RDD[T]{n: n}
+}
+
+// Union concatenates two RDDs (narrow; partitions are appended).
+func (r *RDD[T]) Union(o *RDD[T]) *RDD[T] {
+	a, b := r.n, o.n
+	if a.ctx != b.ctx {
+		panic("rdd: Union across contexts")
+	}
+	n := newNode(a.ctx, a.parts+b.parts, []*node{a, b}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			if part < a.parts {
+				return a.iterate(part, tc, sink)
+			}
+			return b.iterate(part-a.parts, tc, sink)
+		},
+		func(part int) []int {
+			if part < a.parts {
+				if a.preferred != nil {
+					return a.preferred(part)
+				}
+				return nil
+			}
+			if b.preferred != nil {
+				return b.preferred(part - a.parts)
+			}
+			return nil
+		})
+	return &RDD[T]{n: n}
+}
+
+// Sample keeps each element with probability frac, deterministically
+// from seed.
+func (r *RDD[T]) Sample(frac float64, seed uint64) *RDD[T] {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("rdd: Sample fraction %v out of [0,1]", frac))
+	}
+	p := r.n
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			// splitmix64 stream per partition: deterministic and cheap.
+			state := seed + uint64(part)*0x9E3779B97F4A7C15
+			next := func() float64 {
+				state += 0x9E3779B97F4A7C15
+				z := state
+				z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+				z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+				z ^= z >> 31
+				return float64(z>>11) / float64(1<<53)
+			}
+			return p.iterate(part, tc, func(v any) {
+				if next() < frac {
+					sink(v)
+				}
+			})
+		}, p.preferred)
+	return &RDD[T]{n: n}
+}
+
+// Coalesce reduces the partition count by concatenating ranges of
+// parent partitions (narrow).
+func (r *RDD[T]) Coalesce(parts int) *RDD[T] {
+	p := r.n
+	if parts <= 0 || parts >= p.parts {
+		return r
+	}
+	n := newNode(p.ctx, parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			lo := part * p.parts / parts
+			hi := (part + 1) * p.parts / parts
+			for q := lo; q < hi; q++ {
+				if err := p.iterate(q, tc, sink); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil)
+	return &RDD[T]{n: n}
+}
+
+// KeyBy pairs each element with a key derived from it.
+func KeyBy[T any, K comparable](r *RDD[T], key func(T) K) *RDD[Pair[K, T]] {
+	return Map(r, func(v T) Pair[K, T] { return Pair[K, T]{Key: key(v), Value: v} })
+}
+
+// Zip unavailable by design: Go generics cannot express Spark's zip
+// over unequal types as a method; use Join on KeyBy(index) instead.

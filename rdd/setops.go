@@ -1,0 +1,93 @@
+package rdd
+
+import "cmp"
+
+// Subtract returns the elements of a not present in b (set semantics:
+// duplicates in a surviving the subtraction are kept once per
+// occurrence only when absent from b).
+func Subtract[T comparable](a, b *RDD[T], parts int) *RDD[T] {
+	left := Map(a, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	right := Map(b, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	cg := CoGroup(left, right, parts)
+	return FlatMap(cg, func(p Pair[T, CoGrouped[struct{}, struct{}]]) []T {
+		if len(p.Value.Right) > 0 {
+			return nil
+		}
+		out := make([]T, len(p.Value.Left))
+		for i := range out {
+			out[i] = p.Key
+		}
+		return out
+	})
+}
+
+// Intersection returns the distinct elements present in both RDDs.
+func Intersection[T comparable](a, b *RDD[T], parts int) *RDD[T] {
+	left := Map(a, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	right := Map(b, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	cg := CoGroup(left, right, parts)
+	return FlatMap(cg, func(p Pair[T, CoGrouped[struct{}, struct{}]]) []T {
+		if len(p.Value.Left) > 0 && len(p.Value.Right) > 0 {
+			return []T{p.Key}
+		}
+		return nil
+	})
+}
+
+// GroupBy groups elements by a derived key.
+func GroupBy[T any, K comparable](r *RDD[T], key func(T) K, parts int) *RDD[Pair[K, []T]] {
+	return GroupByKey(KeyBy(r, key), parts)
+}
+
+// SortBy globally sorts elements by a derived ordered key. Like
+// SortByKey it runs a sampling job eagerly for range partitioning.
+func SortBy[T any, K cmp.Ordered](r *RDD[T], key func(T) K, parts int, ascending bool) (*RDD[T], error) {
+	keyed := KeyBy(r, key)
+	sorted, err := SortByKey(keyed, parts, ascending)
+	if err != nil {
+		return nil, err
+	}
+	return Values(sorted), nil
+}
+
+// LeftOuterJoin joins a against b, keeping unmatched left rows with ok
+// reporting whether a right value was present.
+func LeftOuterJoin[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], parts int) *RDD[Pair[K, JoinValue[V, *W]]] {
+	cg := CoGroup(a, b, parts)
+	return FlatMap(cg, func(p Pair[K, CoGrouped[V, W]]) []Pair[K, JoinValue[V, *W]] {
+		if len(p.Value.Left) == 0 {
+			return nil
+		}
+		var out []Pair[K, JoinValue[V, *W]]
+		for _, v := range p.Value.Left {
+			if len(p.Value.Right) == 0 {
+				out = append(out, Pair[K, JoinValue[V, *W]]{Key: p.Key, Value: JoinValue[V, *W]{Left: v}})
+				continue
+			}
+			for i := range p.Value.Right {
+				w := p.Value.Right[i]
+				out = append(out, Pair[K, JoinValue[V, *W]]{Key: p.Key, Value: JoinValue[V, *W]{Left: v, Right: &w}})
+			}
+		}
+		return out
+	})
+}
+
+// AggregateByKey folds each key's values into an accumulator of a
+// different type with map-side combining.
+func AggregateByKey[K comparable, V, U any](r *RDD[Pair[K, V]], parts int,
+	zero func() U, seq func(U, V) U, comb func(U, U) U) *RDD[Pair[K, U]] {
+	return CombineByKey(r, parts,
+		func(v V) U { return seq(zero(), v) },
+		seq,
+		comb)
+}
+
+// FoldByKey folds each key's values starting from zero with map-side
+// combining.
+func FoldByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int, zero V, f func(V, V) V) *RDD[Pair[K, V]] {
+	return CombineByKey(r, parts,
+		func(v V) V { return f(zero, v) },
+		f,
+		f)
+}

@@ -1,0 +1,187 @@
+package rdd
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"hpcmr/engine"
+)
+
+func TestSubtract(t *testing.T) {
+	c := ctx(t)
+	a := Parallelize(c, []int{1, 2, 3, 4, 5, 2}, 3)
+	b := Parallelize(c, []int{2, 4, 9}, 2)
+	got, err := Subtract(a, b, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(got)
+	if !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("Subtract = %v", got)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	c := ctx(t)
+	a := Parallelize(c, []string{"x", "y", "z", "x"}, 2)
+	b := Parallelize(c, []string{"y", "x", "w"}, 2)
+	got, err := Intersection(a, b, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(got)
+	if !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Intersection = %v (must be distinct)", got)
+	}
+}
+
+func TestSetOpsProperty(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		c, err := NewContext(engine.Config{Executors: 2, CoresPerExecutor: 2})
+		if err != nil {
+			return false
+		}
+		defer c.Stop()
+		a := Parallelize(c, aRaw, 3)
+		b := Parallelize(c, bRaw, 3)
+		sub, err := Subtract(a, b, 2).Collect()
+		if err != nil {
+			return false
+		}
+		inter, err := Intersection(a, b, 2).Collect()
+		if err != nil {
+			return false
+		}
+		inB := map[uint8]bool{}
+		for _, v := range bRaw {
+			inB[v] = true
+		}
+		for _, v := range sub {
+			if inB[v] {
+				return false // leaked an element of b
+			}
+		}
+		inA := map[uint8]bool{}
+		for _, v := range aRaw {
+			inA[v] = true
+		}
+		seen := map[uint8]bool{}
+		for _, v := range inter {
+			if !inA[v] || !inB[v] || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		// Subtract ∪ Intersection covers every distinct element of a.
+		for v := range inA {
+			found := seen[v]
+			for _, s := range sub {
+				if s == v {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	c := ctx(t)
+	r := Parallelize(c, []string{"apple", "avocado", "banana", "blueberry", "cherry"}, 2)
+	groups, err := CollectAsMap(GroupBy(r, func(s string) byte { return s[0] }, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups['a']) != 2 || len(groups['b']) != 2 || len(groups['c']) != 1 {
+		t.Fatalf("GroupBy = %v", groups)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	c := ctx(t)
+	type user struct {
+		Name string
+		Age  int
+	}
+	users := []user{{"ann", 40}, {"bob", 25}, {"cy", 33}, {"dee", 19}}
+	r := Parallelize(c, users, 2)
+	sorted, err := SortBy(r, func(u user) int { return u.Age }, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ages := make([]int, len(got))
+	for i, u := range got {
+		ages[i] = u.Age
+	}
+	if !slices.IsSorted(ages) {
+		t.Fatalf("SortBy ages = %v", ages)
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	c := ctx(t)
+	users := Parallelize(c, []Pair[int, string]{{1, "ann"}, {2, "bob"}}, 1)
+	orders := Parallelize(c, []Pair[int, float64]{{1, 5.0}, {1, 7.0}}, 1)
+	rows, err := LeftOuterJoin(users, orders, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (two matches + one unmatched)", len(rows))
+	}
+	bobSeen := false
+	for _, r := range rows {
+		if r.Value.Left == "bob" {
+			bobSeen = true
+			if r.Value.Right != nil {
+				t.Fatal("bob should have no order")
+			}
+		}
+		if r.Value.Left == "ann" && r.Value.Right == nil {
+			t.Fatal("ann's orders lost")
+		}
+	}
+	if !bobSeen {
+		t.Fatal("unmatched left row dropped")
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	c := ctx(t)
+	pairs := []Pair[string, int]{{"a", 1}, {"a", 2}, {"b", 5}}
+	counts, err := CollectAsMap(AggregateByKey(Parallelize(c, pairs, 2), 2,
+		func() []int { return nil },
+		func(acc []int, v int) []int { return append(acc, v) },
+		func(a, b []int) []int { return append(a, b...) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(counts["a"])
+	if !reflect.DeepEqual(counts["a"], []int{1, 2}) || !reflect.DeepEqual(counts["b"], []int{5}) {
+		t.Fatalf("AggregateByKey = %v", counts)
+	}
+}
+
+func TestFoldByKey(t *testing.T) {
+	c := ctx(t)
+	pairs := []Pair[string, int]{{"a", 1}, {"a", 2}, {"b", 5}}
+	sums, err := CollectAsMap(FoldByKey(Parallelize(c, pairs, 2), 2, 0, func(a, b int) int { return a + b }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums["a"] != 3 || sums["b"] != 5 {
+		t.Fatalf("FoldByKey = %v", sums)
+	}
+}

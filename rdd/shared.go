@@ -1,0 +1,61 @@
+package rdd
+
+import "sync"
+
+// Accumulator is a write-only shared variable tasks add to and the
+// driver reads after a job — Spark's accumulator pattern. merge must be
+// associative and commutative; Add is safe for concurrent use from
+// task bodies.
+type Accumulator[T any] struct {
+	mu    sync.Mutex
+	value T
+	merge func(T, T) T
+}
+
+// NewAccumulator creates an accumulator with an initial value.
+func NewAccumulator[T any](_ *Context, zero T, merge func(T, T) T) *Accumulator[T] {
+	return &Accumulator[T]{value: zero, merge: merge}
+}
+
+// NewCounter creates an int64 sum accumulator.
+func NewCounter(c *Context) *Accumulator[int64] {
+	return NewAccumulator(c, 0, func(a, b int64) int64 { return a + b })
+}
+
+// Add folds v into the accumulator.
+func (a *Accumulator[T]) Add(v T) {
+	a.mu.Lock()
+	a.value = a.merge(a.value, v)
+	a.mu.Unlock()
+}
+
+// Value returns the current accumulated value. Read it only after the
+// jobs feeding it have completed.
+func (a *Accumulator[T]) Value() T {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.value
+}
+
+// Reset replaces the accumulated value.
+func (a *Accumulator[T]) Reset(v T) {
+	a.mu.Lock()
+	a.value = v
+	a.mu.Unlock()
+}
+
+// Broadcast is a read-only shared variable distributed to every task —
+// Spark's broadcast-variable pattern. In this in-process engine it is a
+// safe shared reference; the type exists for API parity and to mark
+// intent (tasks must not mutate the value).
+type Broadcast[T any] struct {
+	value T
+}
+
+// NewBroadcast wraps a value for read-only use inside tasks.
+func NewBroadcast[T any](_ *Context, v T) *Broadcast[T] {
+	return &Broadcast[T]{value: v}
+}
+
+// Value returns the broadcast value.
+func (b *Broadcast[T]) Value() T { return b.value }

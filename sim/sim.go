@@ -1,0 +1,300 @@
+// Package sim is the public facade over the cluster simulator: it
+// builds a Hyperion-like simulated machine (compute nodes, InfiniBand
+// fabric, Lustre, HDFS-like co-located storage, RAMDisk/SSD devices)
+// and runs the paper's MapReduce workloads on it under a selectable
+// scheduling policy.
+//
+// It exists so that downstream users of this module — who cannot import
+// internal packages — can reproduce and extend the paper's
+// characterization programmatically:
+//
+//	c, _ := sim.New(sim.Config{Nodes: 100, Device: sim.SSD, Skew: true})
+//	res, _ := c.Run(sim.Job{
+//	    Benchmark:  sim.GroupBy,
+//	    InputBytes: 1.2e12,
+//	    CAD:        true,
+//	})
+//	fmt.Println(res.JobTime, res.Storing)
+package sim
+
+import (
+	"fmt"
+
+	"hpcmr/internal/cluster"
+	"hpcmr/internal/core"
+	"hpcmr/internal/dfs"
+	"hpcmr/internal/lustre"
+	"hpcmr/internal/metrics"
+	"hpcmr/internal/sched"
+	"hpcmr/internal/workload"
+)
+
+// Device selects the node-local storage of the simulated cluster.
+type Device string
+
+// Local device choices.
+const (
+	// RAMDisk backs node-local storage with the 32 GB RAM reservation
+	// (the paper's data-centric configuration).
+	RAMDisk Device = "ramdisk"
+	// SSD backs node-local storage with the SATA SSD behind the OS page
+	// cache.
+	SSD Device = "ssd"
+	// NoDevice models HPC compute nodes without local persistent
+	// storage: intermediate data must use the parallel file system.
+	NoDevice Device = "none"
+)
+
+// Benchmark selects one of the paper's workloads.
+type Benchmark string
+
+// Workloads.
+const (
+	// GroupBy is the shuffle benchmark: intermediate == input.
+	GroupBy Benchmark = "groupby"
+	// Grep is the scan benchmark with tiny intermediate data.
+	Grep Benchmark = "grep"
+	// LR is three iterations of logistic regression with the input
+	// cached after the first.
+	LR Benchmark = "lr"
+)
+
+// Policy selects the map-phase scheduling policy.
+type Policy string
+
+// Policies.
+const (
+	// FIFO launches tasks immediately on any free slot.
+	FIFO Policy = "fifo"
+	// Locality prefers local tasks but never waits.
+	Locality Policy = "locality"
+	// DelayScheduling waits for locality (Spark's default).
+	DelayScheduling Policy = "delay"
+	// ELB is the paper's Enhanced Load Balancer.
+	ELB Policy = "elb"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the number of worker nodes (default 100, the paper's
+	// Hyperion slice).
+	Nodes int
+	// CoresPerNode defaults to 16.
+	CoresPerNode int
+	// Device is the node-local storage (default RAMDisk).
+	Device Device
+	// WithHDFS mounts the co-located DFS over the node-local devices
+	// (required for HDFS-input jobs). Enabled by default when Device is
+	// not NoDevice.
+	WithHDFS bool
+	// Skew enables node performance variation.
+	Skew bool
+	// SkewSigma overrides the skew spread (default 0.18).
+	SkewSigma float64
+	// FetchRequestBytes overrides the fabric's request granularity
+	// (the paper's network-bottleneck scenario uses 128 KiB).
+	FetchRequestBytes float64
+	// Seed drives the deterministic skew model (default 1).
+	Seed int64
+}
+
+// Job describes one simulated MapReduce job.
+type Job struct {
+	// Benchmark selects the workload (default GroupBy).
+	Benchmark Benchmark
+	// InputBytes is the input size (default 100 GB).
+	InputBytes float64
+	// SplitBytes is the per-task split (default 256 MB).
+	SplitBytes float64
+	// InputFromLustre reads input from the parallel FS instead of the
+	// co-located DFS / generated data.
+	InputFromLustre bool
+	// StoreOnLustre places intermediate data on the parallel FS;
+	// SharedFetch selects the direct-read (lock-revoking) fetch path.
+	StoreOnLustre bool
+	// SharedFetch: see StoreOnLustre.
+	SharedFetch bool
+	// Policy is the map-phase scheduling policy (default FIFO).
+	Policy Policy
+	// CAD enables Congestion-Aware Dispatching for the storing phase.
+	CAD bool
+}
+
+// Result summarizes a simulated job.
+type Result struct {
+	// JobTime is the virtual execution time in seconds.
+	JobTime float64
+	// Compute, Storing and Shuffle dissect the job per phase (summed
+	// over iterations).
+	Compute, Storing, Shuffle float64
+	// MapTasks is the number of map tasks executed.
+	MapTasks int
+	// LocalLaunches counts locality-satisfying map launches.
+	LocalLaunches int
+	// PerNodeIntermediate is the intermediate bytes per node.
+	PerNodeIntermediate []float64
+	// StoringTaskSpread is max/min ShuffleMapTask duration.
+	StoringTaskSpread float64
+}
+
+// Cluster is a simulated machine ready to run jobs. Jobs run
+// sequentially and share device state (caches drain between jobs);
+// build a fresh Cluster for independent trials.
+type Cluster struct {
+	eng   *core.Engine
+	nodes int
+}
+
+// New builds a simulated cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 100
+	}
+	ccfg := cluster.DefaultConfig(cfg.Nodes)
+	if cfg.CoresPerNode > 0 {
+		ccfg.CoresPerNode = cfg.CoresPerNode
+	}
+	switch cfg.Device {
+	case RAMDisk, "":
+		ccfg.LocalDevice = cluster.RAMDiskDevice
+	case SSD:
+		ccfg.LocalDevice = cluster.SSDDevice
+	case NoDevice:
+		ccfg.LocalDevice = cluster.NoLocalDevice
+	default:
+		return nil, fmt.Errorf("sim: unknown device %q", cfg.Device)
+	}
+	if cfg.Seed != 0 {
+		ccfg.Seed = cfg.Seed
+	}
+	if cfg.Skew {
+		if cfg.SkewSigma > 0 {
+			ccfg.Skew.Sigma = cfg.SkewSigma
+		}
+	} else {
+		ccfg.Skew = cluster.SkewConfig{}
+	}
+	if cfg.FetchRequestBytes > 0 {
+		ccfg.Net.RequestSize = cfg.FetchRequestBytes
+	}
+	c := cluster.New(ccfg)
+
+	var hd *dfs.FS
+	if cfg.WithHDFS || (ccfg.LocalDevice != cluster.NoLocalDevice) {
+		devs := c.RAMDisks()
+		if ccfg.LocalDevice == cluster.SSDDevice {
+			devs = c.LocalDevices()
+		}
+		dcfg := dfs.DefaultConfig()
+		dcfg.Replication = 1
+		hd = dfs.New(c.Sim, c.Fabric, dcfg, devs)
+	}
+	lcfg := lustre.DefaultConfig()
+	lcfg.AggregateBandwidth = 47e9 * float64(cfg.Nodes) / 100
+	lfs := lustre.New(c.Sim, c.Fluid, c.Fabric, lcfg)
+
+	return &Cluster{eng: core.NewEngine(c, hd, lfs), nodes: cfg.Nodes}, nil
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// Run simulates one job to completion.
+func (c *Cluster) Run(job Job) (*Result, error) {
+	if job.InputBytes <= 0 {
+		job.InputBytes = 100e9
+	}
+	if job.SplitBytes <= 0 {
+		job.SplitBytes = 256e6
+	}
+	input := core.InputGenerated
+	if job.InputFromLustre {
+		input = core.InputLustre
+	}
+
+	var spec core.JobSpec
+	switch job.Benchmark {
+	case GroupBy, "":
+		spec = workload.GroupBy(job.InputBytes, job.SplitBytes)
+		spec.Input = input
+	case Grep:
+		if !job.InputFromLustre {
+			input = core.InputHDFS
+		}
+		spec = workload.Grep(job.InputBytes, job.SplitBytes, input)
+	case LR:
+		if !job.InputFromLustre {
+			input = core.InputHDFS
+		}
+		spec = workload.LogisticRegression(job.InputBytes, job.SplitBytes, input)
+	default:
+		return nil, fmt.Errorf("sim: unknown benchmark %q", job.Benchmark)
+	}
+	if job.StoreOnLustre {
+		if job.SharedFetch {
+			spec.Store = core.StoreLustreShared
+		} else {
+			spec.Store = core.StoreLustreLocal
+		}
+	}
+
+	pol := core.Policies{}
+	switch job.Policy {
+	case FIFO, "":
+	case Locality:
+		pol.Map = sched.NewLocalityPreferring()
+	case DelayScheduling:
+		pol.Map = sched.NewDelay(3)
+	case ELB:
+		pol.Map = sched.NewELB(c.nodes, 0.25)
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", job.Policy)
+	}
+	if job.CAD {
+		pol.Store = sched.NewCAD(sched.NewPinned())
+	}
+
+	res, err := c.eng.Run(spec, pol)
+	if err != nil {
+		return nil, err
+	}
+	d := res.Dissection()
+	out := &Result{
+		JobTime:             res.JobTime,
+		Compute:             d.Compute,
+		Storing:             d.Storing,
+		Shuffle:             d.Shuffle,
+		PerNodeIntermediate: res.PerNodeIntermediate(),
+	}
+	for i := range res.Iters {
+		it := &res.Iters[i]
+		out.MapTasks += len(it.Map.Timeline.Records)
+		out.LocalLaunches += it.LocalLaunches
+	}
+	if len(res.Iters) > 0 {
+		tl := res.Iters[0].Store.Timeline
+		if len(tl.Records) > 0 {
+			out.StoringTaskSpread = tl.Spread()
+		}
+	}
+	return out, nil
+}
+
+// Summary formats a result as one line.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("job=%.2fs compute=%.2fs storing=%.2fs shuffle=%.2fs tasks=%d",
+		r.JobTime, r.Compute, r.Storing, r.Shuffle, r.MapTasks)
+}
+
+// ImbalanceRatio returns max/mean per-node intermediate data — the
+// Fig 12 straggler indicator.
+func (r *Result) ImbalanceRatio() float64 {
+	if len(r.PerNodeIntermediate) == 0 {
+		return 0
+	}
+	s := metrics.Summarize(r.PerNodeIntermediate)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Max / s.Mean
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestDefaultsAndRun(t *testing.T) {
+	c, err := New(Config{Nodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 10 {
+		t.Fatalf("Nodes = %d", c.Nodes())
+	}
+	res, err := c.Run(Job{InputBytes: 8e9, SplitBytes: 128e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobTime <= 0 || res.MapTasks != 63 {
+		t.Fatalf("JobTime=%v MapTasks=%d", res.JobTime, res.MapTasks)
+	}
+	if got := res.Compute + res.Storing + res.Shuffle; got <= 0 {
+		t.Fatalf("dissection = %v", got)
+	}
+	if res.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, b := range []Benchmark{GroupBy, Grep, LR} {
+		c, err := New(Config{Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(Job{Benchmark: b, InputBytes: 4e9, SplitBytes: 64e6})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if res.JobTime <= 0 {
+			t.Fatalf("%s: JobTime = %v", b, res.JobTime)
+		}
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	for _, p := range []Policy{FIFO, Locality, DelayScheduling, ELB} {
+		c, err := New(Config{Nodes: 8, Skew: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(Job{Benchmark: Grep, InputBytes: 4e9, SplitBytes: 64e6, Policy: p}); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestLustrePaths(t *testing.T) {
+	c, err := New(Config{Nodes: 8, Device: NoDevice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := c.Run(Job{InputBytes: 8e9, SplitBytes: 128e6, StoreOnLustre: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := New(Config{Nodes: 8, Device: NoDevice})
+	shared, err := c2.Run(Job{InputBytes: 8e9, SplitBytes: 128e6, StoreOnLustre: true, SharedFetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.JobTime <= local.JobTime {
+		t.Fatalf("shared fetch (%v) should be slower than writer-served (%v)",
+			shared.JobTime, local.JobTime)
+	}
+}
+
+func TestCADOption(t *testing.T) {
+	c, err := New(Config{Nodes: 8, Device: SSD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Job{InputBytes: 8e9, CAD: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewImbalance(t *testing.T) {
+	c, err := New(Config{Nodes: 16, Skew: true, SkewSigma: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(Job{InputBytes: 50e9, SplitBytes: 64e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.ImbalanceRatio(); r < 1.1 {
+		t.Fatalf("ImbalanceRatio = %v, want skew-induced imbalance", r)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := New(Config{Device: "floppy"}); err == nil {
+		t.Fatal("bad device accepted")
+	}
+	c, _ := New(Config{Nodes: 4})
+	if _, err := c.Run(Job{Benchmark: "sort"}); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+	if _, err := c.Run(Job{Policy: "random"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestGrepFromLustre(t *testing.T) {
+	c, err := New(Config{Nodes: 8, Device: NoDevice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(Job{
+		Benchmark:       Grep,
+		InputBytes:      8e9,
+		SplitBytes:      64e6,
+		InputFromLustre: true,
+		StoreOnLustre:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobTime <= 0 {
+		t.Fatal("grep from Lustre did not run")
+	}
+}

@@ -176,6 +176,20 @@ func BenchmarkSimFluidFlows(b *testing.B) {
 	}
 }
 
+// BenchmarkSimFluidChurn runs the kernel's headline churn scenario
+// (8,000 flows over 200 resources, >4,000 concurrent) end to end on the
+// incremental kernel; internal/simclock's BenchmarkKernel* suite holds
+// the side-by-side comparison against the recompute-the-world oracle,
+// and BENCH_kernel.json the recorded baseline.
+func BenchmarkSimFluidChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		done, peak := simclock.RunKernelChurn(false, simclock.KernelChurnScale)
+		if done == 0 || peak == 0 {
+			b.Fatal("empty churn run")
+		}
+	}
+}
+
 // TestHarnessWiring smoke-tests the root package and the experiment
 // registry the benchmarks above depend on.
 func TestHarnessWiring(t *testing.T) {

@@ -1,0 +1,83 @@
+// Command kernelbench measures the incremental fluid kernel against the
+// recompute-the-world oracle on the deterministic churn scenario and
+// writes the result as JSON (the committed BENCH_kernel.json baseline).
+//
+//	go run ./cmd/kernelbench              # print to stdout
+//	go run ./cmd/kernelbench -o BENCH_kernel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hpcmr/internal/simclock"
+)
+
+// Baseline is the JSON schema of BENCH_kernel.json.
+type Baseline struct {
+	Scenario  string `json:"scenario"`
+	Resources int    `json:"resources"`
+	Flows     int    `json:"flows"`
+	CapEvents int    `json:"cap_events"`
+	PeakFlows int    `json:"peak_concurrent_flows"`
+	Completed int    `json:"completed_flows"`
+	// NsPerOp is one full scenario run (tens of thousands of events).
+	IncrementalNsPerOp int64   `json:"incremental_ns_per_op"`
+	BruteNsPerOp       int64   `json:"brute_ns_per_op"`
+	Speedup            float64 `json:"speedup"`
+	GoVersion          string  `json:"go_version"`
+	GOARCH             string  `json:"goarch"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	scale := simclock.KernelChurnScale
+	completed, peak := simclock.RunKernelChurn(false, scale)
+
+	inc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simclock.RunKernelChurn(false, scale)
+		}
+	})
+	bru := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simclock.RunKernelChurn(true, scale)
+		}
+	})
+
+	bl := Baseline{
+		Scenario:           "BenchmarkKernelChurn",
+		Resources:          scale.NRes,
+		Flows:              scale.NFlows,
+		CapEvents:          scale.CapEvts,
+		PeakFlows:          peak,
+		Completed:          completed,
+		IncrementalNsPerOp: inc.NsPerOp(),
+		BruteNsPerOp:       bru.NsPerOp(),
+		Speedup:            float64(bru.NsPerOp()) / float64(inc.NsPerOp()),
+		GoVersion:          runtime.Version(),
+		GOARCH:             runtime.GOARCH,
+	}
+	enc, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("kernel churn: incremental %.1f ms, brute %.1f ms, speedup %.2fx -> %s\n",
+		float64(bl.IncrementalNsPerOp)/1e6, float64(bl.BruteNsPerOp)/1e6, bl.Speedup, *out)
+}

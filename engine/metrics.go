@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,30 +16,47 @@ type StageMetrics struct {
 	Success  bool
 }
 
-// Metrics accumulates runtime execution statistics.
-type Metrics struct {
-	mu sync.Mutex
+// atomicFloat64 is a float64 accumulated with compare-and-swap, so task
+// completions can record durations and bytes without taking a lock.
+type atomicFloat64 struct {
+	bits atomic.Uint64
+}
 
-	stages        []StageMetrics
-	tasksRun      int64
-	taskFailures  int64
-	localLaunches int64
-	totalTaskSecs float64
-	shuffleBytes  float64
-	speculations  int64
+func (a *atomicFloat64) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// Metrics accumulates runtime execution statistics. The per-task hot
+// counters are atomics so task completion does not serialize on a
+// metrics lock; only the per-stage records (appended once per stage)
+// stay behind a mutex.
+type Metrics struct {
+	mu     sync.Mutex
+	stages []StageMetrics
+
+	tasksRun      atomic.Int64
+	taskFailures  atomic.Int64
+	localLaunches atomic.Int64
+	speculations  atomic.Int64
+	totalTaskSecs atomicFloat64
+	shuffleBytes  atomicFloat64
 }
 
 func (m *Metrics) recordSpeculations(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.speculations += int64(n)
+	m.speculations.Add(int64(n))
 }
 
 // Speculations returns how many speculative task copies were launched.
 func (m *Metrics) Speculations() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.speculations
+	return m.speculations.Load()
 }
 
 func (m *Metrics) recordStage(name string, tasks int, d time.Duration, ok bool) {
@@ -47,16 +66,14 @@ func (m *Metrics) recordStage(name string, tasks int, d time.Duration, ok bool) 
 }
 
 func (m *Metrics) recordTask(durSecs, shuffleBytes float64, local, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tasksRun++
-	m.totalTaskSecs += durSecs
-	m.shuffleBytes += shuffleBytes
+	m.tasksRun.Add(1)
+	m.totalTaskSecs.Add(durSecs)
+	m.shuffleBytes.Add(shuffleBytes)
 	if local {
-		m.localLaunches++
+		m.localLaunches.Add(1)
 	}
 	if failed {
-		m.taskFailures++
+		m.taskFailures.Add(1)
 	}
 }
 
@@ -68,37 +85,22 @@ func (m *Metrics) Stages() []StageMetrics {
 }
 
 // TasksRun returns the number of task attempts executed.
-func (m *Metrics) TasksRun() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tasksRun
-}
+func (m *Metrics) TasksRun() int64 { return m.tasksRun.Load() }
 
 // TaskFailures returns the number of failed task attempts.
-func (m *Metrics) TaskFailures() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.taskFailures
-}
+func (m *Metrics) TaskFailures() int64 { return m.taskFailures.Load() }
 
 // LocalLaunches returns the number of locality-satisfying launches.
-func (m *Metrics) LocalLaunches() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.localLaunches
-}
+func (m *Metrics) LocalLaunches() int64 { return m.localLaunches.Load() }
 
 // ShuffleBytes returns the total intermediate bytes reported by tasks.
-func (m *Metrics) ShuffleBytes() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.shuffleBytes
-}
+func (m *Metrics) ShuffleBytes() float64 { return m.shuffleBytes.Load() }
 
 // String renders a one-line summary.
 func (m *Metrics) String() string {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	nStages := len(m.stages)
+	m.mu.Unlock()
 	return fmt.Sprintf("stages=%d tasks=%d failures=%d local=%d shuffleMB=%.1f",
-		len(m.stages), m.tasksRun, m.taskFailures, m.localLaunches, m.shuffleBytes/1e6)
+		nStages, m.tasksRun.Load(), m.taskFailures.Load(), m.localLaunches.Load(), m.shuffleBytes.Load()/1e6)
 }

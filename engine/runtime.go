@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -176,27 +177,28 @@ func (st *stageState) dispatchLocked() {
 	if st.failed != nil {
 		return
 	}
-	// Retried and speculated tasks run before fresh offers, on any free
-	// slot; entries whose task has meanwhile completed are dropped.
+	// Retried and speculated tasks run before fresh offers; entries whose
+	// task has meanwhile completed are dropped. Each goes to the executor
+	// with the most idle cores so a retry burst spreads across the
+	// cluster instead of piling onto executor 0.
 	for len(st.retries) > 0 {
 		id := st.retries[0]
 		if st.done[id] {
 			st.retries = st.retries[1:]
 			continue
 		}
-		placed := false
+		best := -1
 		for exec := range st.idle {
-			if st.idle[exec] > 0 {
-				st.retries = st.retries[1:]
-				st.idle[exec]--
-				go st.runTask(sched.Decision{TaskID: id, Local: false}, exec)
-				placed = true
-				break
+			if st.idle[exec] > 0 && (best < 0 || st.idle[exec] > st.idle[best]) {
+				best = exec
 			}
 		}
-		if !placed {
+		if best < 0 {
 			return // all slots busy
 		}
+		st.retries = st.retries[1:]
+		st.idle[best]--
+		go st.runTask(sched.Decision{TaskID: id, Local: false}, best)
 	}
 	for exec := range st.idle {
 		for st.idle[exec] > 0 {
@@ -250,12 +252,7 @@ func (st *stageState) speculateLocked() {
 		return
 	}
 	durs := append([]float64(nil), st.completedDurs...)
-	// Median without full sort cost concerns at this scale.
-	for i := 1; i < len(durs); i++ {
-		for j := i; j > 0 && durs[j] < durs[j-1]; j-- {
-			durs[j], durs[j-1] = durs[j-1], durs[j]
-		}
-	}
+	sort.Float64s(durs)
 	threshold := durs[len(durs)/2] * st.rt.cfg.SpeculationMultiplier
 	now := time.Now()
 	for id, since := range st.running {

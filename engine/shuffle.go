@@ -8,15 +8,21 @@ import (
 // ShuffleStore is the in-memory shuffle service connecting map-side
 // output buckets to reduce-side fetches. Values are boxed; the rdd
 // layer restores their static types.
+//
+// Locking is sharded: the store-level RWMutex only guards the shuffle
+// registry (Register/Drop take it exclusively, everything else shared),
+// and each shuffle carries its own RWMutex. Concurrent map tasks writing
+// different shuffles, and reduce fetches against an already-written
+// shuffle, no longer serialize on one global lock.
 type ShuffleStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	shuffles map[int]*shuffleData
 	nextID   int
-	bytes    int64
 }
 
 // shuffleData holds one shuffle's buckets: [mapPartition][reducePartition].
 type shuffleData struct {
+	mu          sync.RWMutex
 	mapParts    int
 	reduceParts int
 	buckets     [][][]any
@@ -47,12 +53,18 @@ func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
 	return s.nextID
 }
 
+// get looks a shuffle up under the shared registry lock.
+func (s *ShuffleStore) get(shuffleID int) (*shuffleData, bool) {
+	s.mu.RLock()
+	d, ok := s.shuffles[shuffleID]
+	s.mu.RUnlock()
+	return d, ok
+}
+
 // Put stores a map partition's output buckets. Re-puts (task retries)
 // overwrite the previous attempt.
 func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.shuffles[shuffleID]
+	d, ok := s.get(shuffleID)
 	if !ok {
 		return fmt.Errorf("engine: unknown shuffle %d", shuffleID)
 	}
@@ -62,23 +74,25 @@ func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
 	if len(buckets) != d.reduceParts {
 		return fmt.Errorf("engine: shuffle %d: got %d buckets, want %d", shuffleID, len(buckets), d.reduceParts)
 	}
+	d.mu.Lock()
 	d.buckets[mapPart] = buckets
 	d.written[mapPart] = true
+	d.mu.Unlock()
 	return nil
 }
 
 // Fetch returns all map-side buckets for one reduce partition. It fails
 // if any map partition has not been written (stage ordering bug).
 func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.shuffles[shuffleID]
+	d, ok := s.get(shuffleID)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown shuffle %d", shuffleID)
 	}
 	if reducePart < 0 || reducePart >= d.reduceParts {
 		return nil, fmt.Errorf("engine: shuffle %d: reduce partition %d out of range", shuffleID, reducePart)
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([][]any, d.mapParts)
 	for m := 0; m < d.mapParts; m++ {
 		if !d.written[m] {
@@ -91,12 +105,12 @@ func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
 
 // Complete reports whether every map partition has been written.
 func (s *ShuffleStore) Complete(shuffleID int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.shuffles[shuffleID]
+	d, ok := s.get(shuffleID)
 	if !ok {
 		return false
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for _, w := range d.written {
 		if !w {
 			return false
@@ -114,7 +128,7 @@ func (s *ShuffleStore) Drop(shuffleID int) {
 
 // Len returns the number of registered shuffles.
 func (s *ShuffleStore) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.shuffles)
 }

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShuffleStoreConcurrentPutFetch hammers the sharded store from many
+// goroutines: writers re-putting map partitions across several shuffles
+// while readers fetch completed partitions and poll Complete/Len, plus
+// registry churn from Register/Drop. Run under -race this is the
+// acceptance test for the per-shuffle locking.
+func TestShuffleStoreConcurrentPutFetch(t *testing.T) {
+	s := NewShuffleStore()
+	const (
+		shuffles    = 8
+		mapParts    = 16
+		reduceParts = 8
+		writers     = 8
+		readers     = 8
+		rounds      = 50
+	)
+	ids := make([]int, shuffles)
+	for i := range ids {
+		ids[i] = s.Register(mapParts, reduceParts)
+	}
+	// Pre-write every partition once so readers always see a complete
+	// shuffle; writers then keep overwriting (task retries).
+	mkBuckets := func(m int) [][]any {
+		b := make([][]any, reduceParts)
+		for r := range b {
+			b[r] = []any{fmt.Sprintf("m%d-r%d", m, r)}
+		}
+		return b
+	}
+	for _, id := range ids {
+		for m := 0; m < mapParts; m++ {
+			if err := s.Put(id, m, mkBuckets(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := ids[(w+i)%shuffles]
+				m := (w * 7) % mapParts
+				if err := s.Put(id, (m+i)%mapParts, mkBuckets((m+i)%mapParts)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := ids[(r+i)%shuffles]
+				out, err := s.Fetch(id, (r+i)%reduceParts)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(out) != mapParts {
+					errc <- fmt.Errorf("fetch returned %d map parts, want %d", len(out), mapParts)
+					return
+				}
+				if !s.Complete(id) {
+					errc <- fmt.Errorf("shuffle %d incomplete after full put", id)
+					return
+				}
+				_ = s.Len()
+			}
+		}()
+	}
+	// Registry churn alongside the Put/Fetch load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			id := s.Register(2, 2)
+			_ = s.Put(id, 0, make([][]any, 2))
+			s.Drop(id)
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != shuffles {
+		t.Fatalf("Len = %d after churn, want %d", got, shuffles)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables")
+
+// TestGoldenTables locks down the rendered output of every experiment at
+// quick scale for the default seed, so a kernel or model change that
+// shifts any table cell is caught as a behavioral change, not just a
+// performance one.
+//
+// Provenance: when the incremental fluid kernel replaced the
+// recompute-the-world one, 18 of 20 tables were byte-identical between
+// the kernels; fig8c and fig8d moved by <=0.2% in three cells because
+// lazy progress settling re-associates the floating-point accumulation
+// and those two experiments amplify ULP noise through near-tie task
+// completions. The fixtures are from the incremental kernel;
+// simclock's differential tests pin the kernels to each other within
+// tolerance.
+//
+// Regenerate (after an intentional model change) with:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite runs every experiment; skipped in -short")
+	}
+	opt := Options{Quick: true, Seed: 1}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := run(opt).String()
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("experiment %s output diverged from golden fixture\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package simclock
+
+import "math/rand"
+
+// kernelOps abstracts the two fluid kernels behind closures so one
+// scenario driver can exercise either for benchmarks and baselines.
+type kernelOps struct {
+	start  func(size float64, done func(), res ...int)
+	setCap func(res int, c float64)
+	active func() int
+}
+
+func incrementalOps(s *Sim, nRes int, capacity float64) kernelOps {
+	fl := NewFluid(s)
+	res := make([]*Res, nRes)
+	for i := range res {
+		res[i] = fl.NewRes("r", capacity)
+	}
+	return kernelOps{
+		start: func(size float64, done func(), ri ...int) {
+			rs := make([]*Res, len(ri))
+			for j, i := range ri {
+				rs[j] = res[i]
+			}
+			fl.Start(size, done, rs...)
+		},
+		setCap: func(i int, c float64) { res[i].SetCapacity(c) },
+		active: fl.ActiveFlows,
+	}
+}
+
+func bruteOps(s *Sim, nRes int, capacity float64) kernelOps {
+	fl := NewBruteFluid(s)
+	res := make([]*BruteRes, nRes)
+	for i := range res {
+		res[i] = fl.NewRes("r", capacity)
+	}
+	return kernelOps{
+		start: func(size float64, done func(), ri ...int) {
+			rs := make([]*BruteRes, len(ri))
+			for j, i := range ri {
+				rs[j] = res[i]
+			}
+			fl.Start(size, done, rs...)
+		},
+		setCap: func(i int, c float64) { res[i].SetCapacity(c) },
+		active: fl.ActiveFlows,
+	}
+}
+
+// ChurnScale sizes the kernel churn scenario: flows arrive over virtual
+// time across NRes resources (each crossing 2-3, like a shuffle fetch
+// crossing source NIC, destination NIC, and a device channel),
+// capacities churn, and extra short flows spike in mid-run.
+type ChurnScale struct {
+	NRes    int
+	NFlows  int
+	CapEvts int
+}
+
+// KernelChurnScale is the headline benchmark scale: peak concurrency
+// exceeds 4,000 simultaneous flows over 200 resources.
+var KernelChurnScale = ChurnScale{NRes: 200, NFlows: 8000, CapEvts: 500}
+
+// RunKernelChurn drives one full churn scenario on the incremental
+// kernel (brute=false) or the recompute-the-world oracle (brute=true)
+// and returns completions and the peak concurrent flow count. The
+// scenario is deterministic.
+func RunKernelChurn(brute bool, sc ChurnScale) (completed, peak int) {
+	s := New()
+	const capacity = 1e9
+	var ops kernelOps
+	if brute {
+		ops = bruteOps(s, sc.NRes, capacity)
+	} else {
+		ops = incrementalOps(s, sc.NRes, capacity)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < sc.NFlows; i++ {
+		at := rng.Float64() * 50
+		size := 2e8 + rng.Float64()*8e8
+		a := rng.Intn(sc.NRes)
+		b := rng.Intn(sc.NRes)
+		ri := []int{a, b}
+		if rng.Intn(2) == 0 {
+			ri = append(ri, rng.Intn(sc.NRes))
+		}
+		spike := rng.Intn(20) == 0
+		spikeAt := at + rng.Float64()*10
+		s.At(at, func() {
+			ops.start(size, func() { completed++ }, ri...)
+			if spike {
+				s.At(spikeAt, func() { ops.start(1e7, func() { completed++ }, ri[0]) })
+			}
+		})
+	}
+	for i := 0; i < sc.CapEvts; i++ {
+		at := rng.Float64() * 80
+		r := rng.Intn(sc.NRes)
+		c := capacity * (0.5 + rng.Float64())
+		s.At(at, func() { ops.setCap(r, c) })
+	}
+	for t := 1.0; t < 80; t++ {
+		s.At(t, func() {
+			if a := ops.active(); a > peak {
+				peak = a
+			}
+		})
+	}
+	s.Run()
+	return completed, peak
+}

@@ -1,0 +1,106 @@
+package simclock
+
+// flowHeap is an indexed binary min-heap of flows ordered by predicted
+// completion time, ties broken by start sequence so completions at equal
+// instants fire in start order (the determinism contract of the fluid
+// system). Every flow stores its own heap position in heapIdx, making
+// decrease-key (fix) and arbitrary removal O(log n).
+type flowHeap []*Flow
+
+func (h flowHeap) less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h flowHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+// min returns the earliest-due flow without removing it, or nil.
+func (h flowHeap) min() *Flow {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}
+
+func (h *flowHeap) push(f *Flow) {
+	f.heapIdx = len(*h)
+	*h = append(*h, f)
+	h.up(f.heapIdx)
+}
+
+// fix restores heap order after f's due key changed in place.
+func (h *flowHeap) fix(f *Flow) {
+	if !h.down(f.heapIdx) {
+		h.up(f.heapIdx)
+	}
+}
+
+// remove unlinks f from the heap and resets its index.
+func (h *flowHeap) remove(f *Flow) {
+	i := f.heapIdx
+	if i < 0 {
+		return
+	}
+	old := *h
+	n := len(old) - 1
+	f.heapIdx = -1
+	if i != n {
+		old[i] = old[n]
+		old[i].heapIdx = i
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+// init re-establishes the heap property over the whole array in O(n) —
+// cheaper than n individual fixes when a rebalance re-keys most flows
+// (the single-bottleneck fan-in shape).
+func (h flowHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h flowHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts i toward the leaves and reports whether it moved.
+func (h flowHeap) down(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
+}

@@ -1,0 +1,291 @@
+package simclock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scenario is a randomized fluid workload that can be replayed on either
+// kernel: resources with churned capacities, staggered flow starts over
+// random resource subsets, and cancellations.
+type scenario struct {
+	resCaps  []float64
+	capEvts  []capEvt
+	flowEvts []flowEvt
+}
+
+type capEvt struct {
+	at  float64
+	res int
+	cap float64
+}
+
+type flowEvt struct {
+	at       float64
+	size     float64
+	res      []int
+	cancelAt float64 // 0 = never
+}
+
+func randomScenario(rng *rand.Rand, nRes, nFlows int) scenario {
+	sc := scenario{resCaps: make([]float64, nRes)}
+	for i := range sc.resCaps {
+		sc.resCaps[i] = 50 + rng.Float64()*200
+	}
+	for i := 0; i < nFlows; i++ {
+		k := 1 + rng.Intn(3)
+		if k > nRes {
+			k = nRes
+		}
+		var res []int
+		if rng.Intn(2) == 0 {
+			res = rng.Perm(nRes)[:k]
+		} else {
+			// Duplicates allowed: a flow may cross a resource twice and
+			// then counts twice toward its share.
+			for j := 0; j < k; j++ {
+				res = append(res, rng.Intn(nRes))
+			}
+		}
+		fe := flowEvt{
+			at:   rng.Float64() * 10,
+			size: 10 + rng.Float64()*500,
+			res:  res,
+		}
+		if rng.Intn(10) == 0 {
+			fe.cancelAt = fe.at + rng.Float64()*5
+		}
+		sc.flowEvts = append(sc.flowEvts, fe)
+	}
+	for i := 0; i < nFlows/4; i++ {
+		sc.capEvts = append(sc.capEvts, capEvt{
+			at:  rng.Float64() * 15,
+			res: rng.Intn(nRes),
+			cap: rng.Float64() * 250, // occasionally ~0: stalls
+		})
+	}
+	return sc
+}
+
+// completion records one finished flow for cross-kernel comparison.
+type completion struct {
+	flow int
+	at   float64
+}
+
+// replayIncremental runs sc on the incremental kernel.
+func replayIncremental(sc scenario) []completion {
+	s := New()
+	fl := NewFluid(s)
+	res := make([]*Res, len(sc.resCaps))
+	for i, c := range sc.resCaps {
+		res[i] = fl.NewRes("r", c)
+	}
+	for _, ce := range sc.capEvts {
+		ce := ce
+		s.At(ce.at, func() { res[ce.res].SetCapacity(ce.cap) })
+	}
+	var out []completion
+	for i, fe := range sc.flowEvts {
+		i, fe := i, fe
+		s.At(fe.at, func() {
+			rs := make([]*Res, len(fe.res))
+			for j, ri := range fe.res {
+				rs[j] = res[ri]
+			}
+			f := fl.Start(fe.size, func() { out = append(out, completion{i, s.Now()}) }, rs...)
+			if fe.cancelAt > 0 {
+				s.At(fe.cancelAt, func() { f.Cancel() })
+			}
+		})
+	}
+	s.Run()
+	return out
+}
+
+// replayBrute runs sc on the recompute-the-world oracle.
+func replayBrute(sc scenario) []completion {
+	s := New()
+	fl := NewBruteFluid(s)
+	res := make([]*BruteRes, len(sc.resCaps))
+	for i, c := range sc.resCaps {
+		res[i] = fl.NewRes("r", c)
+	}
+	for _, ce := range sc.capEvts {
+		ce := ce
+		s.At(ce.at, func() { res[ce.res].SetCapacity(ce.cap) })
+	}
+	var out []completion
+	for i, fe := range sc.flowEvts {
+		i, fe := i, fe
+		s.At(fe.at, func() {
+			rs := make([]*BruteRes, len(fe.res))
+			for j, ri := range fe.res {
+				rs[j] = res[ri]
+			}
+			f := fl.Start(fe.size, func() { out = append(out, completion{i, s.Now()}) }, rs...)
+			if fe.cancelAt > 0 {
+				s.At(fe.cancelAt, func() { f.Cancel() })
+			}
+		})
+	}
+	s.Run()
+	return out
+}
+
+// TestFluidMatchesBruteOracle replays randomized start/cancel/SetCapacity
+// sequences on the incremental kernel and the brute-force recompute
+// oracle: both must complete the same flows in the same order at the same
+// instants (within floating-point accumulation tolerance — the kernels
+// associate the progress arithmetic differently).
+func TestFluidMatchesBruteOracle(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sc := randomScenario(rng, 2+rng.Intn(6), 5+rng.Intn(60))
+		inc := replayIncremental(sc)
+		bru := replayBrute(sc)
+		if len(inc) != len(bru) {
+			t.Fatalf("seed %d: incremental completed %d flows, oracle %d", seed, len(inc), len(bru))
+		}
+		for i := range inc {
+			if inc[i].flow != bru[i].flow {
+				t.Fatalf("seed %d: completion order diverges at %d: incremental flow %d, oracle flow %d",
+					seed, i, inc[i].flow, bru[i].flow)
+			}
+			scale := math.Max(1, math.Abs(bru[i].at))
+			if math.Abs(inc[i].at-bru[i].at)/scale > 1e-6 {
+				t.Fatalf("seed %d: flow %d completes at %v (incremental) vs %v (oracle)",
+					seed, inc[i].flow, inc[i].at, bru[i].at)
+			}
+		}
+	}
+}
+
+// TestFluidOracleWorkConservation checks both kernels conserve work on a
+// saturated single resource: the last completion lands at total/capacity.
+func TestFluidOracleWorkConservation(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		sc := scenario{resCaps: []float64{100}}
+		total := 0.0
+		for i := 0; i < n; i++ {
+			size := 10 + rng.Float64()*300
+			total += size
+			sc.flowEvts = append(sc.flowEvts, flowEvt{size: size, res: []int{0}})
+		}
+		for name, out := range map[string][]completion{
+			"incremental": replayIncremental(sc),
+			"oracle":      replayBrute(sc),
+		} {
+			if len(out) != n {
+				t.Fatalf("seed %d: %s completed %d/%d", seed, name, len(out), n)
+			}
+			last := out[n-1].at
+			if math.Abs(last-total/100) > 1e-6 {
+				t.Fatalf("seed %d: %s makespan %v, want %v", seed, name, last, total/100)
+			}
+		}
+	}
+}
+
+// TestFluidReplayDeterminism re-runs the same scenario on the incremental
+// kernel and requires bitwise-identical completion times.
+func TestFluidReplayDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sc := randomScenario(rng, 5, 80)
+	a, b := replayIncremental(sc), replayIncremental(sc)
+	if len(a) != len(b) {
+		t.Fatalf("runs completed %d vs %d flows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFluidPendingBounded is the stale-timer regression test: repeated
+// rebalances (start churn on a shared resource) must not accumulate
+// superseded wake-ups in the event heap. The old kernel left one dead
+// generation-guarded timer per rebalance; the incremental kernel cancels
+// them, keeping at most one fluid timer pending.
+func TestFluidPendingBounded(t *testing.T) {
+	s := New()
+	fl := NewFluid(s)
+	r := fl.NewRes("link", 1e6)
+	const n = 500
+	for i := 0; i < n; i++ {
+		fl.Start(1e6, nil, r) // each start rebalances and reschedules
+	}
+	// n flows are in flight and exactly one wake-up must be outstanding.
+	if got := s.Pending(); got > 1 {
+		t.Fatalf("Pending = %d after %d rebalances, want <= 1 (stale wake-up leak)", got, n)
+	}
+	// Capacity churn rebalances without changing membership: still one.
+	for i := 0; i < n; i++ {
+		r.SetCapacity(1e6 + float64(i+1))
+	}
+	if got := s.Pending(); got > 1 {
+		t.Fatalf("Pending = %d after capacity churn, want <= 1", got)
+	}
+	done := 0
+	s.At(1e9, func() {}) // sentinel so Run drains completions too
+	s.Run()
+	if fl.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after run, want 0", fl.ActiveFlows())
+	}
+	_ = done
+}
+
+// TestEventCancel covers the Sim-level cancellation primitive directly.
+func TestEventCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.After(5, func() { ran = true })
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if !e.Cancel() {
+		t.Fatal("Cancel reported event not pending")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel, want 0 (lazy deletion leaks)", s.Pending())
+	}
+	if e.Cancel() {
+		t.Fatal("second Cancel reported success")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("canceled event fired")
+	}
+}
+
+// TestEventCancelInterleaved cancels events out of order and checks the
+// survivors still fire in timestamp order.
+func TestEventCancelInterleaved(t *testing.T) {
+	s := New()
+	var got []int
+	evts := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evts[i] = s.After(float64(10-i), func() { got = append(got, i) })
+	}
+	for i := 1; i < 10; i += 2 {
+		evts[i].Cancel()
+	}
+	s.Run()
+	want := []int{8, 6, 4, 2, 0} // even ids, scheduled at 2,4,6,8,10
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if fired := evts[0].Cancel(); fired {
+		t.Fatal("Cancel after firing reported success")
+	}
+}

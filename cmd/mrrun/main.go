@@ -8,11 +8,16 @@
 //	mrrun distinct <file>
 //
 // Flags -executors, -cores, and -policy select the runtime shape.
+// -trace FILE captures a wall-clock Chrome trace of the run (stage,
+// task-attempt, and scheduler-decision spans) for chrome://tracing,
+// Perfetto, or mrtrace; -trace-jsonl FILE writes the same events as
+// JSONL.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -20,15 +25,21 @@ import (
 
 	"hpcmr/engine"
 	"hpcmr/rdd"
+	"hpcmr/trace"
 )
 
 var (
-	executors = flag.Int("executors", 4, "number of executors")
-	cores     = flag.Int("cores", 2, "cores per executor")
-	policy    = flag.String("policy", "fifo", "scheduling policy: fifo | locality | delay | elb | cad")
-	top       = flag.Int("top", 20, "wordcount: show the N most frequent words")
-	parts     = flag.Int("parts", 0, "input partitions (0 = one per executor)")
+	executors  = flag.Int("executors", 4, "number of executors")
+	cores      = flag.Int("cores", 2, "cores per executor")
+	policy     = flag.String("policy", "fifo", "scheduling policy: fifo | locality | delay | elb | cad")
+	top        = flag.Int("top", 20, "wordcount: show the N most frequent words")
+	parts      = flag.Int("parts", 0, "input partitions (0 = one per executor)")
+	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	traceJSONL = flag.String("trace-jsonl", "", "write trace events as JSONL to this file")
 )
+
+// tracer is non-nil when a -trace flag asked for capture.
+var tracer *trace.Tracer
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: mrrun [flags] wordcount|grep|distinct ...\n")
@@ -52,15 +63,53 @@ func newContext() *rdd.Context {
 	default:
 		fatal("unknown policy %q", *policy)
 	}
-	ctx, err := rdd.NewContext(engine.Config{
+	cfg := engine.Config{
 		Executors:        *executors,
 		CoresPerExecutor: *cores,
 		Policy:           kind,
-	})
+	}
+	if *traceOut != "" || *traceJSONL != "" {
+		tracer = trace.NewWall(trace.Options{})
+		cfg.SchedAudit = trace.SchedAudit(tracer)
+	}
+	ctx, err := rdd.NewContext(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
+	if tracer != nil {
+		ctx.Runtime().AddListener(trace.EngineListener(tracer))
+	}
 	return ctx
+}
+
+// flushTrace writes the captured events to the -trace destinations.
+// Call it after the job's context stops so in-flight spans have landed.
+func flushTrace() {
+	if tracer == nil {
+		return
+	}
+	events := tracer.Events()
+	if d := tracer.Drops(); d > 0 {
+		fmt.Fprintf(os.Stderr, "mrrun: trace ring overflowed, oldest %d events dropped\n", d)
+	}
+	write := func(path string, fn func(io.Writer, []trace.Event) error, what string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := fn(f, events); err != nil {
+			fatal("writing %s: %v", what, err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "# %s (%d events) written to %s\n", what, len(events), path)
+	}
+	write(*traceOut, trace.WriteChrome, "Chrome trace")
+	write(*traceJSONL, trace.WriteJSONL, "JSONL trace")
 }
 
 func main() {
@@ -89,6 +138,9 @@ func main() {
 	default:
 		usage()
 	}
+	// The subcommands stop their contexts on return, so every span has
+	// been delivered by the time we flush.
+	flushTrace()
 }
 
 func wordcount(path string) {

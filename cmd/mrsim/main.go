@@ -8,11 +8,18 @@
 //	mrsim -bench grep -data 200e9 -input lustre -nodes 50
 //	mrsim -bench lr -data 100e9 -input hdfs -policy delay
 //	mrsim -bench groupby -data 1.2e12 -policy elb -store local -skew
+//
+// Tracing: -trace writes a Chrome trace_event JSON of the run (task,
+// fetch, and scheduler-decision spans on the virtual clock; load it in
+// Perfetto or chrome://tracing, or pipe "-trace -" into mrtrace):
+//
+//	mrsim -bench groupby -data 400e9 -skew -policy elb -trace - | mrtrace summary
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hpcmr/internal/cluster"
@@ -22,6 +29,7 @@ import (
 	"hpcmr/internal/metrics"
 	"hpcmr/internal/sched"
 	"hpcmr/internal/workload"
+	"hpcmr/trace"
 )
 
 func main() {
@@ -37,10 +45,18 @@ func main() {
 		cad     = flag.Bool("cad", false, "enable congestion-aware dispatching for the storing phase")
 		skew    = flag.Bool("skew", false, "enable node performance skew")
 		seed    = flag.Int64("seed", 1, "skew seed")
-		verbose = flag.Bool("v", false, "print per-iteration dissections")
-		trace   = flag.String("trace", "", "write the full task timeline as JSON to this file")
+		verbose    = flag.Bool("v", false, "print per-iteration dissections")
+		timeline   = flag.String("timeline", "", "write the legacy flat task timeline as JSON to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file ('-' = stdout)")
+		traceJSONL = flag.String("trace-jsonl", "", "write trace events as JSONL to this file ('-' = stdout)")
 	)
 	flag.Parse()
+
+	// The human report moves to stderr when a trace streams to stdout.
+	report := io.Writer(os.Stdout)
+	if *traceOut == "-" || *traceJSONL == "-" {
+		report = os.Stderr
+	}
 
 	cfg := cluster.DefaultConfig(*nodes)
 	cfg.Seed = *seed
@@ -67,6 +83,12 @@ func main() {
 	lcfg.AggregateBandwidth = 47e9 * float64(*nodes) / 100
 	lfs := lustre.New(c.Sim, c.Fluid, c.Fabric, lcfg)
 	eng := core.NewEngine(c, hd, lfs)
+
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceJSONL != "" {
+		tracer = trace.New(c.Sim.Now, trace.Options{})
+		eng.Tracer = tracer
+	}
 
 	var inputKind core.InputKind
 	switch *input {
@@ -108,48 +130,59 @@ func main() {
 		fatal("unknown -store %q", *store)
 	}
 
+	audit := trace.SchedAudit(tracer)
 	pol := core.Policies{}
 	switch *policy {
 	case "fifo":
 	case "locality":
 		pol.Map = sched.NewLocalityPreferring()
 	case "delay":
-		pol.Map = sched.NewDelay(3)
+		d := sched.NewDelay(3)
+		d.Audit = audit
+		pol.Map = d
 	case "elb":
-		pol.Map = sched.NewELB(*nodes, 0.25)
+		e := sched.NewELB(*nodes, 0.25)
+		e.Audit = audit
+		pol.Map = e
 	default:
 		fatal("unknown -policy %q", *policy)
 	}
 	if *cad {
-		pol.Store = sched.NewCAD(sched.NewPinned())
+		cd := sched.NewCAD(sched.NewPinned())
+		cd.Audit = audit
+		pol.Store = cd
 	}
 
 	res, err := eng.Run(spec, pol)
 	if err != nil {
 		fatal("%v", err)
 	}
-	if *trace != "" {
-		f, err := os.Create(*trace)
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
 		if err != nil {
 			fatal("%v", err)
 		}
 		if err := res.WriteTrace(f); err != nil {
-			fatal("writing trace: %v", err)
+			fatal("writing timeline: %v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("trace written to %s\n", *trace)
+		fmt.Fprintf(report, "timeline written to %s\n", *timeline)
+	}
+	if tracer != nil {
+		writeTrace(report, tracer, *traceOut, trace.WriteChrome, "Chrome trace")
+		writeTrace(report, tracer, *traceJSONL, trace.WriteJSONL, "JSONL trace")
 	}
 
-	fmt.Printf("%s: input=%.0f GB split=%.0f MB nodes=%d device=%s input-src=%s store=%s policy=%s cad=%v\n",
+	fmt.Fprintf(report, "%s: input=%.0f GB split=%.0f MB nodes=%d device=%s input-src=%s store=%s policy=%s cad=%v\n",
 		spec.Name, *data/1e9, *split/1e6, *nodes, *device, spec.Input, spec.Store, *policy, *cad)
-	fmt.Printf("job time: %.2f s\n", res.JobTime)
-	fmt.Printf("dissection: %s\n", res.Dissection())
+	fmt.Fprintf(report, "job time: %.2f s\n", res.JobTime)
+	fmt.Fprintf(report, "dissection: %s\n", res.Dissection())
 	if *verbose {
 		for i := range res.Iters {
 			it := &res.Iters[i]
-			fmt.Printf("  iter %d: %s  (map tasks=%d local=%d remote=%d)\n",
+			fmt.Fprintf(report, "  iter %d: %s  (map tasks=%d local=%d remote=%d)\n",
 				i, it.Dissection(), len(it.Map.Timeline.Records), it.LocalLaunches, it.RemoteLaunches)
 		}
 	}
@@ -157,16 +190,46 @@ func main() {
 		tl := res.Iters[0].Store.Timeline
 		if len(tl.Records) > 0 {
 			s := metrics.Summarize(tl.Durations())
-			fmt.Printf("storing tasks: n=%d min=%.3fs mean=%.3fs max=%.3fs spread=%.1fx\n",
+			fmt.Fprintf(report, "storing tasks: n=%d min=%.3fs mean=%.3fs max=%.3fs spread=%.1fx\n",
 				s.N, s.Min, s.Mean, s.Max, tl.Spread())
 		}
 		per := res.PerNodeIntermediate()
 		if len(per) > 0 {
 			s := metrics.Summarize(per)
-			fmt.Printf("intermediate per node: min=%.2f GB mean=%.2f GB max=%.2f GB\n",
+			fmt.Fprintf(report, "intermediate per node: min=%.2f GB mean=%.2f GB max=%.2f GB\n",
 				s.Min/1e9, s.Mean/1e9, s.Max/1e9)
 		}
 	}
+}
+
+// writeTrace exports the captured events to path ('-' = stdout, empty =
+// skip) with the given exporter.
+func writeTrace(report io.Writer, tr *trace.Tracer, path string,
+	write func(io.Writer, []trace.Event) error, what string) {
+	if path == "" {
+		return
+	}
+	events := tr.Events()
+	if d := tr.Drops(); d > 0 {
+		fmt.Fprintf(os.Stderr, "mrsim: trace ring overflowed, oldest %d events dropped\n", d)
+	}
+	if path == "-" {
+		if err := write(os.Stdout, events); err != nil {
+			fatal("writing %s: %v", what, err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := write(f, events); err != nil {
+		fatal("writing %s: %v", what, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(report, "%s (%d events) written to %s\n", what, len(events), path)
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,110 @@
+// Command mrtrace analyzes and converts traces captured by mrsim and
+// mrrun. It reads either trace format (Chrome trace_event JSON or
+// JSONL), from a file or stdin, so it composes directly with
+// "mrsim -trace -":
+//
+//	mrsim -bench groupby -data 400e9 -skew -policy elb -trace - | mrtrace summary
+//	mrtrace summary run.trace.json
+//	mrtrace stragglers -n 10 run.trace.json
+//	mrtrace convert -to jsonl run.trace.json > run.jsonl
+//
+// "summary" reconstructs the paper's characterization diagnostics from
+// the events alone: per-phase dissection, per-node intermediate-data
+// skew (Fig 11/12), shuffle fetch breakdown (Fig 7), scheduler
+// decision counts, and straggler detection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hpcmr/trace"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mrtrace <command> [flags] [file]
+
+commands:
+  summary     print the timeline analysis (skew, dissection, fetches, decisions)
+  stragglers  list the slowest task attempts (flag -n limits the count)
+  convert     rewrite the trace (flag -to chrome|jsonl selects the format)
+
+The trace is read from the file argument, or stdin when omitted or "-".
+Both trace formats (Chrome trace_event JSON, JSONL) are detected
+automatically.
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ExitOnError)
+		mult := fs.Float64("straggler-mult", 1.5, "straggler threshold as a multiple of the median task duration")
+		fs.Parse(args)
+		a := trace.Analyze(load(fs.Args()), *mult)
+		a.WriteSummary(os.Stdout)
+	case "stragglers":
+		fs := flag.NewFlagSet("stragglers", flag.ExitOnError)
+		n := fs.Int("n", 10, "number of stragglers to list")
+		mult := fs.Float64("straggler-mult", 1.5, "straggler threshold as a multiple of the median task duration")
+		fs.Parse(args)
+		a := trace.Analyze(load(fs.Args()), *mult)
+		a.WriteStragglers(os.Stdout, *n)
+	case "convert":
+		fs := flag.NewFlagSet("convert", flag.ExitOnError)
+		to := fs.String("to", "chrome", "output format: chrome | jsonl")
+		fs.Parse(args)
+		events := load(fs.Args())
+		var err error
+		switch *to {
+		case "chrome":
+			err = trace.WriteChrome(os.Stdout, events)
+		case "jsonl":
+			err = trace.WriteJSONL(os.Stdout, events)
+		default:
+			fatal("unknown -to %q", *to)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		usage()
+	}
+}
+
+// load reads the trace named by the remaining arguments (stdin when
+// none or "-").
+func load(args []string) []trace.Event {
+	var r io.Reader = os.Stdin
+	if len(args) > 1 {
+		fatal("at most one trace file")
+	}
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.Read(r)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(events) == 0 {
+		fatal("trace holds no events")
+	}
+	return events
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mrtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -86,6 +86,12 @@ type Config struct {
 	// SpeculationIntervalSeconds is the straggler-check period
 	// (default 0.05 s).
 	SpeculationIntervalSeconds float64
+	// SchedAudit, when set, receives scheduler decision events (ELB
+	// pause/resume, CAD throttle adjustments, delay-scheduling waits)
+	// from every stage's policy — the hook the trace subsystem uses for
+	// its decision audit. Callbacks run under the stage dispatcher and
+	// must be cheap.
+	SchedAudit sched.AuditFunc
 }
 
 // withDefaults fills zero fields.
@@ -123,11 +129,17 @@ func (c Config) newPolicy() sched.Policy {
 	case Locality:
 		return sched.NewLocalityPreferring()
 	case DelayScheduling:
-		return sched.NewDelay(c.LocalityWaitSeconds)
+		p := sched.NewDelay(c.LocalityWaitSeconds)
+		p.Audit = c.SchedAudit
+		return p
 	case ELB:
-		return sched.NewELB(c.Executors, c.ELBThreshold)
+		p := sched.NewELB(c.Executors, c.ELBThreshold)
+		p.Audit = c.SchedAudit
+		return p
 	case CADThrottled:
-		return sched.NewCAD(sched.NewFIFO())
+		p := sched.NewCAD(sched.NewFIFO())
+		p.Audit = c.SchedAudit
+		return p
 	default:
 		return sched.NewFIFO()
 	}

@@ -1,26 +1,43 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Listener receives runtime lifecycle events — the hook point for
-// progress UIs, structured logging, or custom metrics. Callbacks run
-// synchronously on runtime goroutines and must return quickly; they
-// must not call back into the runtime.
+// progress UIs, structured logging, tracing, or custom metrics.
+// Callbacks run synchronously on runtime goroutines and must return
+// quickly; they must not call back into the runtime.
+//
+// The runtime isolates itself from misbehaving listeners: a panic in
+// any callback is recovered and discarded, so an observer bug can
+// never wedge or fail a stage. Listeners may be added while stages are
+// in flight; a listener added mid-stage observes only events fired
+// after registration.
 type Listener interface {
 	// OnStageStart fires when a stage begins executing.
 	OnStageStart(name string, tasks int)
 	// OnStageEnd fires when a stage finishes (successfully or not).
 	OnStageEnd(m StageMetrics)
+	// OnTaskStart fires when a task attempt begins running on an
+	// executor slot. Only Stage, TaskID, Attempt, Executor, and Start
+	// are populated.
+	OnTaskStart(e TaskEvent)
 	// OnTaskEnd fires after every task attempt.
 	OnTaskEnd(e TaskEvent)
 }
 
-// TaskEvent describes one finished task attempt.
+// TaskEvent describes one task attempt.
 type TaskEvent struct {
-	Stage        string
-	TaskID       int
-	Attempt      int
-	Executor     int
+	Stage    string
+	TaskID   int
+	Attempt  int
+	Executor int
+	// Start is when the attempt began executing (monotonic wall clock).
+	Start time.Time
+	// Duration is the attempt's execution time in seconds (zero in
+	// OnTaskStart events).
 	Duration     float64
 	ShuffleBytes float64
 	Failed       bool
@@ -38,11 +55,20 @@ func (l *listeners) add(s Listener) {
 	l.subs = append(l.subs, s)
 }
 
+// guard recovers a panicking listener so observers cannot take down
+// runtime goroutines (the contract documented on Listener).
+func guard() {
+	_ = recover()
+}
+
 func (l *listeners) stageStart(name string, tasks int) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	for _, s := range l.subs {
-		s.OnStageStart(name, tasks)
+		func() {
+			defer guard()
+			s.OnStageStart(name, tasks)
+		}()
 	}
 }
 
@@ -50,7 +76,21 @@ func (l *listeners) stageEnd(m StageMetrics) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	for _, s := range l.subs {
-		s.OnStageEnd(m)
+		func() {
+			defer guard()
+			s.OnStageEnd(m)
+		}()
+	}
+}
+
+func (l *listeners) taskStart(e TaskEvent) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, s := range l.subs {
+		func() {
+			defer guard()
+			s.OnTaskStart(e)
+		}()
 	}
 }
 
@@ -58,20 +98,26 @@ func (l *listeners) taskEnd(e TaskEvent) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	for _, s := range l.subs {
-		s.OnTaskEnd(e)
+		func() {
+			defer guard()
+			s.OnTaskEnd(e)
+		}()
 	}
 }
 
-// AddListener subscribes a listener to runtime events.
+// AddListener subscribes a listener to runtime events. It is safe to
+// call concurrently with running stages.
 func (rt *Runtime) AddListener(l Listener) {
 	rt.listeners.add(l)
 }
 
 // FuncListener adapts plain functions into a Listener; nil fields are
-// skipped.
+// skipped, so existing listeners stay source-compatible as callbacks
+// are added.
 type FuncListener struct {
 	StageStart func(name string, tasks int)
 	StageEnd   func(m StageMetrics)
+	TaskStart  func(e TaskEvent)
 	TaskEnd    func(e TaskEvent)
 }
 
@@ -86,6 +132,13 @@ func (f FuncListener) OnStageStart(name string, tasks int) {
 func (f FuncListener) OnStageEnd(m StageMetrics) {
 	if f.StageEnd != nil {
 		f.StageEnd(m)
+	}
+}
+
+// OnTaskStart implements Listener.
+func (f FuncListener) OnTaskStart(e TaskEvent) {
+	if f.TaskStart != nil {
+		f.TaskStart(e)
 	}
 }
 

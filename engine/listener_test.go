@@ -8,10 +8,11 @@ import (
 
 // recorder captures listener events.
 type recorder struct {
-	mu     sync.Mutex
-	starts []string
-	ends   []StageMetrics
-	tasks  []TaskEvent
+	mu         sync.Mutex
+	starts     []string
+	ends       []StageMetrics
+	taskStarts []TaskEvent
+	tasks      []TaskEvent
 }
 
 func (r *recorder) OnStageStart(name string, tasks int) {
@@ -24,6 +25,12 @@ func (r *recorder) OnStageEnd(m StageMetrics) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.ends = append(r.ends, m)
+}
+
+func (r *recorder) OnTaskStart(e TaskEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taskStarts = append(r.taskStarts, e)
 }
 
 func (r *recorder) OnTaskEnd(e TaskEvent) {
@@ -60,6 +67,17 @@ func TestListenerReceivesEvents(t *testing.T) {
 	for _, e := range rec.tasks {
 		if e.Stage != "observed" || e.ShuffleBytes != 10 || e.Failed {
 			t.Fatalf("task event = %+v", e)
+		}
+		if e.Start.IsZero() || e.Duration < 0 {
+			t.Fatalf("task event lacks a timeline: %+v", e)
+		}
+	}
+	if len(rec.taskStarts) != 6 {
+		t.Fatalf("task start events = %d, want 6", len(rec.taskStarts))
+	}
+	for _, e := range rec.taskStarts {
+		if e.Stage != "observed" || e.Start.IsZero() || e.Duration != 0 {
+			t.Fatalf("task start event = %+v", e)
 		}
 	}
 }

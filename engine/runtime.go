@@ -287,6 +287,13 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 		Executor: exec,
 	}
 	start := time.Now()
+	st.rt.listeners.taskStart(TaskEvent{
+		Stage:    st.name,
+		TaskID:   d.TaskID,
+		Attempt:  attempt,
+		Executor: exec,
+		Start:    start,
+	})
 	err := runBody(st.tasks[d.TaskID].Run, tc)
 	dur := time.Since(start).Seconds()
 	st.rt.listeners.taskEnd(TaskEvent{
@@ -294,6 +301,7 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 		TaskID:       d.TaskID,
 		Attempt:      attempt,
 		Executor:     exec,
+		Start:        start,
 		Duration:     dur,
 		ShuffleBytes: tc.shuffleBytes,
 		Failed:       err != nil,

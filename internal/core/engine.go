@@ -9,6 +9,7 @@ import (
 	"hpcmr/internal/lustre"
 	"hpcmr/internal/metrics"
 	"hpcmr/internal/sched"
+	"hpcmr/trace"
 )
 
 // Policies selects the scheduling policy per phase. Zero-value fields
@@ -47,6 +48,10 @@ type Engine struct {
 	C      *cluster.Cluster
 	HDFS   *dfs.FS
 	Lustre *lustre.FS
+	// Tracer, when set, captures job/stage/task/fetch spans on the
+	// simulator's virtual clock (build it with trace.New(C.Sim.Now, ...)).
+	// It records passively — tracing never perturbs simulated time.
+	Tracer *trace.Tracer
 
 	jobSeq int
 }
@@ -112,6 +117,7 @@ func (e *Engine) Run(spec JobSpec, pol Policies) (*Result, error) {
 		return nil, errors.New("core: simulation drained with the job incomplete (scheduler wedged?)")
 	}
 	res.JobTime = e.C.Sim.Now() - start
+	e.Tracer.JobSpan(spec.Name, start, res.JobTime)
 	return res, nil
 }
 
@@ -178,7 +184,7 @@ func (e *Engine) runIteration(spec JobSpec, pol Policies, blocks []dfs.Block, it
 		}
 	}
 
-	runStage(e.C, pol.Map, tasks, mapExec, func(tl *metrics.Timeline, local, remote int) {
+	runStage(e.C, e.Tracer, fmt.Sprintf("map/%d", iter), pol.Map, tasks, mapExec, func(tl *metrics.Timeline, local, remote int) {
 		it.Map = PhaseResult{Start: mapStart, End: e.C.Sim.Now(), Timeline: *tl}
 		it.LocalLaunches, it.RemoteLaunches = local, remote
 		it.PerNodeIntermediate = tl.PerNode(nodes, func(r metrics.TaskRecord) float64 { return r.Bytes })
@@ -238,16 +244,17 @@ func (e *Engine) runStoringPhase(spec JobSpec, pol Policies, iter int, it *Itera
 		}
 	}
 
-	runStage(e.C, pol.Store, tasks, storeExec, func(tl *metrics.Timeline, _, _ int) {
+	runStage(e.C, e.Tracer, fmt.Sprintf("store/%d", iter), pol.Store, tasks, storeExec, func(tl *metrics.Timeline, _, _ int) {
 		it.Store = PhaseResult{Start: storeStart, End: e.C.Sim.Now(), Timeline: *tl}
-		e.runShufflePhase(spec, pol, files, it, res, next)
+		e.runShufflePhase(spec, pol, files, iter, it, res, next)
 	})
 }
 
 // runShufflePhase launches the fetch tasks that pull every reducer's
 // partition from each mapper node.
-func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.File, it *IterationResult, res *Result, next func()) {
+func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.File, iter int, it *IterationResult, res *Result, next func()) {
 	nodes := len(e.C.Nodes)
+	stageName := fmt.Sprintf("shuffle/%d", iter)
 	reducers := spec.Reducers
 	if reducers <= 0 {
 		reducers = nodes
@@ -275,6 +282,16 @@ func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.Fil
 			pump()
 		}
 		oneFetch := func(m int, size float64) {
+			fetchDone := fetchDone
+			if e.Tracer.Enabled() {
+				// Wrap the completion to record a fetch span; the wrap
+				// changes no event timing, only observes it.
+				fs, inner := e.C.Sim.Now(), fetchDone
+				fetchDone = func() {
+					e.Tracer.FetchSpan(stageName, id, m, dst, fs, e.C.Sim.Now()-fs, size)
+					inner()
+				}
+			}
 			switch spec.Store {
 			case StoreLustreLocal:
 				// The writer node serves the request from its own
@@ -318,7 +335,7 @@ func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.Fil
 		pump()
 	}
 
-	runStage(e.C, pol.Shuffle, tasks, shuffleExec, func(tl *metrics.Timeline, _, _ int) {
+	runStage(e.C, e.Tracer, stageName, pol.Shuffle, tasks, shuffleExec, func(tl *metrics.Timeline, _, _ int) {
 		it.Shuffle = PhaseResult{Start: shuffleStart, End: e.C.Sim.Now(), Timeline: *tl}
 		res.Iters = append(res.Iters, *it)
 		next()

@@ -4,6 +4,7 @@ import (
 	"hpcmr/internal/cluster"
 	"hpcmr/internal/metrics"
 	"hpcmr/internal/sched"
+	"hpcmr/trace"
 )
 
 // taskExec runs one task's body on a node. launch is the task's start
@@ -16,6 +17,8 @@ type taskExec func(id, node int, launch float64, done func(stats sched.TaskStats
 // their bodies, and records a timeline.
 type stageRunner struct {
 	c        *cluster.Cluster
+	tr       *trace.Tracer
+	name     string
 	policy   sched.Policy
 	exec     taskExec
 	timeline *metrics.Timeline
@@ -29,8 +32,10 @@ type stageRunner struct {
 
 // runStage executes tasks under policy and calls onDone(timeline,
 // localLaunches, remoteLaunches) when the last task completes. Stages
-// with no tasks complete on the next event.
-func runStage(c *cluster.Cluster, policy sched.Policy, tasks []sched.TaskInfo, exec taskExec,
+// with no tasks complete on the next event. A non-nil tracer receives
+// one task span per completion and a stage span at the end; name
+// labels them ("map/0", "store/0", ...).
+func runStage(c *cluster.Cluster, tr *trace.Tracer, name string, policy sched.Policy, tasks []sched.TaskInfo, exec taskExec,
 	onDone func(tl *metrics.Timeline, local, remote int)) {
 	tl := &metrics.Timeline{}
 	if len(tasks) == 0 {
@@ -39,17 +44,21 @@ func runStage(c *cluster.Cluster, policy sched.Policy, tasks []sched.TaskInfo, e
 	}
 	r := &stageRunner{
 		c:         c,
+		tr:        tr,
+		name:      name,
 		policy:    policy,
 		exec:      exec,
 		timeline:  tl,
 		remaining: len(tasks),
 		active:    true,
 	}
+	start := c.Sim.Now()
 	r.onDone = func() {
 		r.active = false
+		r.tr.StageSpan(r.name, len(tasks), start, r.c.Sim.Now()-start)
 		onDone(r.timeline, r.local, r.remote)
 	}
-	policy.StageStart(tasks, c.Sim.Now())
+	policy.StageStart(tasks, start)
 	r.offerAll()
 }
 
@@ -142,6 +151,7 @@ func (r *stageRunner) finish(d sched.Decision, n *cluster.Node, launch float64, 
 		rec := &r.timeline.Records[len(r.timeline.Records)-1]
 		stats.Duration = rec.Duration()
 	}
+	r.tr.TaskSpan(r.name, d.TaskID, 0, n.ID, launch, now-launch, stats.IntermediateBytes, "")
 	n.ReleaseCore()
 	r.policy.Completed(d.TaskID, n.ID, now, stats)
 	r.remaining--

@@ -31,8 +31,9 @@ type traceIteration struct {
 	Shuffle tracePhase `json:"shuffle"`
 }
 
-// trace is the document WriteTrace emits.
-type trace struct {
+// timelineDoc is the document WriteTrace emits (the legacy flat
+// timeline dump; the structured tracing subsystem lives in hpcmr/trace).
+type timelineDoc struct {
 	Job        string           `json:"job"`
 	JobTime    float64          `json:"jobTime"`
 	Iterations []traceIteration `json:"iterations"`
@@ -53,7 +54,7 @@ func phaseTrace(p PhaseResult) tracePhase {
 // every phase of every iteration, with launch/finish times in virtual
 // seconds — for offline analysis and plotting.
 func (r *Result) WriteTrace(w io.Writer) error {
-	doc := trace{Job: r.Spec.Name, JobTime: r.JobTime}
+	doc := timelineDoc{Job: r.Spec.Name, JobTime: r.JobTime}
 	for i := range r.Iters {
 		it := &r.Iters[i]
 		doc.Iterations = append(doc.Iterations, traceIteration{

@@ -27,17 +27,21 @@ func Summarize(xs []float64) Summary {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	sum, sq := 0.0, 0.0
+	sum := 0.0
 	for _, x := range s {
 		sum += x
-		sq += x * x
 	}
 	n := float64(len(s))
 	mean := sum / n
-	variance := sq/n - mean*mean
-	if variance < 0 {
-		variance = 0
+	// Two-pass variance: the one-pass E[x²]−mean² form cancels
+	// catastrophically when the spread is small relative to the
+	// magnitude (e.g. virtual timestamps late in a long run).
+	ss := 0.0
+	for _, x := range s {
+		d := x - mean
+		ss += d * d
 	}
+	variance := ss / n
 	return Summary{
 		N:      len(s),
 		Min:    s[0],

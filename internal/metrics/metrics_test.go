@@ -28,6 +28,29 @@ func TestSummarizeEmpty(t *testing.T) {
 	}
 }
 
+// TestSummarizeVarianceLargeOffset is the regression test for the
+// one-pass E[x²]−mean² variance, which cancels catastrophically once
+// samples sit at a large common offset: {1e9, 1e9+1, 1e9+2} has the
+// same stddev as {0, 1, 2}, but x² ≈ 1e18 leaves no mantissa bits for
+// the ±1 spread and the old formula collapsed to 0.
+func TestSummarizeVarianceLargeOffset(t *testing.T) {
+	base := []float64{0, 1, 2}
+	want := Summarize(base).Stddev // sqrt(2/3)
+	if math.Abs(want-math.Sqrt(2.0/3.0)) > 1e-12 {
+		t.Fatalf("baseline stddev = %v", want)
+	}
+	for _, offset := range []float64{1e6, 1e9, 1e12} {
+		xs := make([]float64, len(base))
+		for i, x := range base {
+			xs[i] = x + offset
+		}
+		got := Summarize(xs).Stddev
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("offset %g: stddev = %v, want %v", offset, got, want)
+		}
+	}
+}
+
 func TestSummarizeDoesNotMutate(t *testing.T) {
 	in := []float64{3, 1, 2}
 	Summarize(in)

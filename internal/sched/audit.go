@@ -1,0 +1,38 @@
+package sched
+
+// AuditEvent records one scheduler control decision — the raw material
+// for the trace subsystem's decision audit. The paper's optimizations
+// are feedback controllers (ELB pauses overloaded nodes, CAD throttles
+// dispatch under device congestion), so understanding a run requires
+// seeing *when* and *why* each controller acted, not just the aggregate
+// outcome.
+type AuditEvent struct {
+	// Policy names the emitting policy: "elb", "cad", or "delay".
+	Policy string
+	// Kind is the decision: "pause"/"resume" (ELB), "throttle"/
+	// "relieve" (CAD), "wait" (delay scheduling).
+	Kind string
+	// Node is the node the decision concerns.
+	Node int
+	// Value is the decision's headline quantity: the node's accumulated
+	// intermediate bytes (ELB), the new in-flight limit (CAD), or the
+	// remaining locality wait in seconds (delay).
+	Value float64
+	// Loads is a per-node load snapshot at decision time (ELB pause/
+	// resume only; nil otherwise). The slice is a copy and safe to keep.
+	Loads []float64
+	// Detail is a human-readable elaboration of the decision.
+	Detail string
+}
+
+// AuditFunc receives scheduler decision events. Callbacks run
+// synchronously inside the policy and must be cheap; nil disables
+// auditing and adds no work to the scheduling path.
+type AuditFunc func(AuditEvent)
+
+// emit invokes f if auditing is enabled.
+func (f AuditFunc) emit(e AuditEvent) {
+	if f != nil {
+		f(e)
+	}
+}

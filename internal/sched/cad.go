@@ -1,6 +1,9 @@
 package sched
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // CAD is the paper's Congestion-Aware Dispatching (Section VI-B): a
 // feedback control loop wrapped around an inner placement policy. It
@@ -40,6 +43,9 @@ type CAD struct {
 	Window int
 	// MinSamples is the minimum completions before the controller acts.
 	MinSamples int
+	// Audit, when set, receives a "throttle"/"relieve" event every time
+	// the in-flight bound changes.
+	Audit AuditFunc
 
 	limit       int // 0 = unlimited
 	inflight    map[int]int
@@ -139,15 +145,18 @@ func (p *CAD) Completed(task, node int, now float64, stats TaskStats) {
 		// Congestion relieved: admit one more writer per node; fully
 		// lift the bound once it exceeds the most concurrency ever
 		// used.
+		prev := p.limit
 		p.limit++
 		if p.limit > p.maxInflight {
 			p.limit = 0
 		}
 		p.adjustments++
 		p.cooldown = p.Window
+		p.audit("relieve", node, prev, avg, now)
 	case p.median > 0 && avg >= p.median*p.JumpFactor:
 		// Task times far above the typical regime: halve the per-node
 		// writer bound.
+		prev := p.limit
 		if p.limit == 0 {
 			p.limit = p.maxInflight
 		}
@@ -157,7 +166,23 @@ func (p *CAD) Completed(task, node int, now float64, stats TaskStats) {
 		}
 		p.adjustments++
 		p.cooldown = p.Window
+		p.audit("throttle", node, prev, avg, now)
 	}
+}
+
+// audit reports one in-flight-bound adjustment.
+func (p *CAD) audit(kind string, node, prev int, avg, now float64) {
+	if p.Audit == nil {
+		return
+	}
+	p.Audit(AuditEvent{
+		Policy: "cad",
+		Kind:   kind,
+		Node:   node,
+		Value:  float64(p.limit),
+		Detail: fmt.Sprintf("limit %d->%d avg=%.4g median=%.4g t=%.3f",
+			prev, p.limit, avg, p.median, now),
+	})
 }
 
 // Pending implements Policy.

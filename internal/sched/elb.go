@@ -1,5 +1,7 @@
 package sched
 
+import "fmt"
+
 // ELB is the paper's Enhanced Load Balancer (Section VI-A). The policy
 // records the intermediate data deposited by each completed task and
 // monitors the per-node average. A node whose accumulated volume exceeds
@@ -12,11 +14,15 @@ type ELB struct {
 	// Threshold is the fractional excess over the cluster average at
 	// which a node is paused (the paper uses 0.25).
 	Threshold float64
+	// Audit, when set, receives a "pause"/"resume" event (with a
+	// per-node load snapshot) every time a node's exclusion state flips.
+	Audit AuditFunc
 
 	nodes     int
 	q         *taskQueue
 	nodeBytes []float64
 	total     float64
+	paused    []bool // last audited exclusion state, per node
 }
 
 // NewELB returns an ELB policy for a cluster of the given size.
@@ -74,6 +80,40 @@ func (p *ELB) Completed(task, node int, now float64, stats TaskStats) {
 	if node >= 0 && node < p.nodes {
 		p.nodeBytes[node] += stats.IntermediateBytes
 		p.total += stats.IntermediateBytes
+	}
+	p.auditTransitions(now)
+}
+
+// auditTransitions reports every node whose exclusion state flipped
+// since the last completion. Accounting only changes in Completed, so
+// checking here observes every transition exactly once.
+func (p *ELB) auditTransitions(now float64) {
+	if p.Audit == nil {
+		return
+	}
+	if p.paused == nil {
+		p.paused = make([]bool, p.nodes)
+	}
+	avg := p.average()
+	for n := 0; n < p.nodes; n++ {
+		cur := p.Paused(n)
+		if cur == p.paused[n] {
+			continue
+		}
+		p.paused[n] = cur
+		kind := "resume"
+		if cur {
+			kind = "pause"
+		}
+		p.Audit.emit(AuditEvent{
+			Policy: "elb",
+			Kind:   kind,
+			Node:   n,
+			Value:  p.nodeBytes[n],
+			Loads:  append([]float64(nil), p.nodeBytes...),
+			Detail: fmt.Sprintf("load=%.4g avg=%.4g threshold=%.2f t=%.3f",
+				p.nodeBytes[n], avg, p.Threshold, now),
+		})
 	}
 }
 

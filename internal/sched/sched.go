@@ -26,6 +26,8 @@
 // idle slots whenever any task completes.
 package sched
 
+import "fmt"
+
 // TaskInfo describes one schedulable task of a stage.
 type TaskInfo struct {
 	// ID is the task index, unique within the stage.
@@ -240,6 +242,9 @@ type Delay struct {
 	// Wait is the locality wait in seconds (Spark's
 	// spark.locality.wait, 3 s by default).
 	Wait float64
+	// Audit, when set, receives a "wait" event each time a slot is
+	// declined while the policy holds out for locality.
+	Audit AuditFunc
 
 	q          *taskQueue
 	lastLaunch float64
@@ -273,6 +278,11 @@ func (p *Delay) Offer(node int, now float64) Decision {
 	}
 	waited := now - p.lastLaunch
 	if waited < p.Wait {
+		p.Audit.emit(AuditEvent{
+			Policy: "delay", Kind: "wait", Node: node,
+			Value:  p.Wait - waited,
+			Detail: fmt.Sprintf("pending=%d waited=%.3f t=%.3f", p.q.len(), waited, now),
+		})
 		return Decline(p.Wait - waited)
 	}
 	t, ok := p.q.popAny()

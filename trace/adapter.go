@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hpcmr/engine"
+	"hpcmr/internal/sched"
+)
+
+// SchedAudit adapts a tracer into a scheduler decision auditor: ELB
+// pause/resume, CAD throttle adjustments, and delay-scheduling waits
+// become CatSched instants named "policy:kind", stamped on the
+// tracer's clock (virtual time under the simulator, wall time under
+// the real engine). Wire it into engine.Config.SchedAudit or directly
+// onto a policy's Audit field.
+func SchedAudit(t *Tracer) sched.AuditFunc {
+	if t == nil {
+		return nil
+	}
+	return func(ev sched.AuditEvent) {
+		detail := ev.Detail
+		if len(ev.Loads) > 0 {
+			var b strings.Builder
+			b.WriteString(detail)
+			b.WriteString(" loads=[")
+			for i, l := range ev.Loads {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%.4g", l)
+			}
+			b.WriteByte(']')
+			detail = b.String()
+		}
+		t.Emit(Event{
+			TS: t.Now(), Kind: Instant, Cat: CatSched,
+			Name: ev.Policy + ":" + ev.Kind,
+			Node: ev.Node, Peer: -1, Task: -1,
+			Bytes: ev.Value, Detail: detail,
+		})
+	}
+}
+
+// engineListener records real-engine lifecycle events as spans.
+type engineListener struct {
+	t  *Tracer
+	mu sync.Mutex
+	// stage start times by name; stages run sequentially per runtime
+	// but listeners may serve several runtimes, so keep it keyed.
+	starts map[string]float64
+}
+
+// EngineListener returns an engine.Listener that records stage and
+// task-attempt spans into t. Use a wall-clock tracer (NewWall): task
+// timestamps convert through the tracer's epoch.
+func EngineListener(t *Tracer) engine.Listener {
+	return &engineListener{t: t, starts: map[string]float64{}}
+}
+
+func (l *engineListener) OnStageStart(name string, tasks int) {
+	l.mu.Lock()
+	l.starts[name] = l.t.Now()
+	l.mu.Unlock()
+}
+
+func (l *engineListener) OnStageEnd(m engine.StageMetrics) {
+	dur := m.Duration.Seconds()
+	l.mu.Lock()
+	start, ok := l.starts[m.Name]
+	delete(l.starts, m.Name)
+	l.mu.Unlock()
+	if !ok {
+		// Listener attached mid-stage: anchor on the end time.
+		start = l.t.Now() - dur
+	}
+	name := m.Name
+	if !m.Success {
+		name += " (failed)"
+	}
+	l.t.StageSpan(name, m.Tasks, start, dur)
+}
+
+func (l *engineListener) OnTaskStart(e engine.TaskEvent) {}
+
+func (l *engineListener) OnTaskEnd(e engine.TaskEvent) {
+	detail := ""
+	if e.Failed {
+		detail = "failed"
+	}
+	l.t.TaskSpan(e.Stage, e.TaskID, e.Attempt, e.Executor,
+		l.t.Since(e.Start), e.Duration, e.ShuffleBytes, detail)
+}

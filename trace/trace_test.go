@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{})
+	tr.TaskSpan("s", 0, 0, 0, 0, 1, 0, "")
+	tr.FetchSpan("s", 0, 1, 2, 0, 1, 10)
+	tr.StageSpan("s", 4, 0, 1)
+	tr.JobSpan("j", 0, 1)
+	tr.InstantEvent(CatSched, "elb:pause", 0, 1, "")
+	if tr.Len() != 0 || tr.Drops() != 0 || tr.Events() != nil || tr.Now() != 0 {
+		t.Fatal("nil tracer retained state")
+	}
+}
+
+// TestDisabledZeroAlloc pins the acceptance criterion: with tracing
+// disabled (nil tracer), the capture calls on the task hot path
+// allocate nothing. The enabled path is also allocation-free — events
+// are copied by value into preallocated rings.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var disabled *Tracer
+	if n := testing.AllocsPerRun(200, func() {
+		disabled.TaskSpan("stage", 3, 0, 2, 1.0, 0.5, 4096, "")
+		disabled.FetchSpan("stage", 3, 1, 2, 1.0, 0.5, 4096)
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocates %v per op on the hot path", n)
+	}
+	enabled := New(func() float64 { return 0 }, Options{Shards: 2, ShardCapacity: 64})
+	if n := testing.AllocsPerRun(200, func() {
+		enabled.TaskSpan("stage", 3, 0, 2, 1.0, 0.5, 4096, "")
+	}); n != 0 {
+		t.Fatalf("enabled tracer allocates %v per emit", n)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	now := 0.0
+	tr := New(func() float64 { return now }, Options{})
+	now = 42.5
+	if got := tr.Now(); got != 42.5 {
+		t.Fatalf("Now() = %v", got)
+	}
+	tr.InstantEvent(CatSched, "cad:throttle", 1, 8, "limit 16->8")
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].TS != 42.5 || ev[0].Kind != Instant {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestRingWraparoundCountsDrops(t *testing.T) {
+	tr := New(func() float64 { return 0 }, Options{Shards: 1, ShardCapacity: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{TS: float64(i), Node: 0, Task: i})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Drops() != 6 {
+		t.Fatalf("Drops = %d, want 6", tr.Drops())
+	}
+	ev := tr.Events()
+	// The newest four survive, oldest-first.
+	want := []int{6, 7, 8, 9}
+	for i, e := range ev {
+		if e.Task != want[i] {
+			t.Fatalf("retained tasks = %v at %d, want %v", e.Task, i, want)
+		}
+	}
+}
+
+func TestEventsMergeSortedAcrossShards(t *testing.T) {
+	tr := New(func() float64 { return 0 }, Options{Shards: 4, ShardCapacity: 16})
+	// Interleave nodes so shards fill out of global order.
+	for i := 9; i >= 0; i-- {
+		tr.Emit(Event{TS: float64(i), Node: i % 4, Task: i})
+	}
+	ev := tr.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TS < ev[i-1].TS {
+			t.Fatalf("events not sorted by TS: %v after %v", ev[i].TS, ev[i-1].TS)
+		}
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(func() float64 { return 0 }, Options{Shards: 8, ShardCapacity: 4096})
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.TaskSpan("s", i, 0, w, float64(i), 1, 1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len()+int(tr.Drops()) != workers*per {
+		t.Fatalf("retained %d + dropped %d != emitted %d",
+			tr.Len(), tr.Drops(), workers*per)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{TS: 0, Dur: 10, Kind: Span, Cat: CatJob, Name: "groupby", Node: -1, Peer: -1, Task: -1},
+		{TS: 0.5, Dur: 2, Kind: Span, Cat: CatTask, Name: "task", Node: 3, Peer: -1,
+			Stage: "map/0", Task: 7, Attempt: 1, Bytes: 1e6, Detail: "failed"},
+		{TS: 3, Dur: 0.25, Kind: Span, Cat: CatFetch, Name: "fetch", Node: 2, Peer: 5,
+			Stage: "shuffle/0", Task: 2, Bytes: 4e5},
+		{TS: 4, Kind: Instant, Cat: CatSched, Name: "elb:pause", Node: 1, Peer: -1,
+			Task: -1, Bytes: 9e8, Detail: "load=9e8 avg=6e8"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\nin  %+v\nout %+v", in, out)
+	}
+	// Read() must sniff JSONL.
+	sniffed, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, sniffed) {
+		t.Fatal("Read() failed to sniff JSONL")
+	}
+}

@@ -88,10 +88,26 @@ type Config struct {
 	SpeculationIntervalSeconds float64
 	// SchedAudit, when set, receives scheduler decision events (ELB
 	// pause/resume, CAD throttle adjustments, delay-scheduling waits)
-	// from every stage's policy — the hook the trace subsystem uses for
+	// from every stage's policy, plus the runtime's fault/recovery
+	// decisions (Policy "fault": executor crashes, lost attempts,
+	// requeues, fetch retries) — the hook the trace subsystem uses for
 	// its decision audit. Callbacks run under the stage dispatcher and
 	// must be cheap.
 	SchedAudit sched.AuditFunc
+	// Faults, when set, is consulted at every fault-injection decision
+	// point (task launch, fetch attempt, task completion, and a
+	// periodic crash-trigger check). Pass a *fault.Injector to replay a
+	// deterministic fault plan against the runtime.
+	Faults FaultInjector
+	// FaultCheckIntervalSeconds is the period of the time-based
+	// crash-trigger poll while a stage runs (default 0.01 s).
+	FaultCheckIntervalSeconds float64
+	// MaxFetchRetries is how many attempts FetchShuffle makes against
+	// transient fetch faults before giving up (default 3).
+	MaxFetchRetries int
+	// FetchRetryBackoffSeconds is FetchShuffle's initial retry backoff;
+	// it doubles per attempt (default 0.002 s).
+	FetchRetryBackoffSeconds float64
 }
 
 // withDefaults fills zero fields.
@@ -119,6 +135,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpeculationIntervalSeconds <= 0 {
 		c.SpeculationIntervalSeconds = 0.05
+	}
+	if c.FaultCheckIntervalSeconds <= 0 {
+		c.FaultCheckIntervalSeconds = 0.01
+	}
+	if c.MaxFetchRetries <= 0 {
+		c.MaxFetchRetries = 3
+	}
+	if c.FetchRetryBackoffSeconds <= 0 {
+		c.FetchRetryBackoffSeconds = 0.002
 	}
 	return c
 }

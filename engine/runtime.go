@@ -10,6 +10,10 @@ import (
 	"hpcmr/internal/sched"
 )
 
+// ErrAllExecutorsLost fails a stage when no executor remains alive to
+// run its tasks.
+var ErrAllExecutorsLost = errors.New("engine: all executors lost")
+
 // TaskContext is passed to every running task.
 type TaskContext struct {
 	StageID  int
@@ -39,10 +43,17 @@ type Runtime struct {
 	shuffle   *ShuffleStore
 	metrics   *Metrics
 	listeners listeners
+	start     time.Time
 
 	mu      sync.Mutex
 	stageID int
 	closed  bool
+	stages  map[*stageState]struct{}
+
+	// execMu guards executor liveness. Lock order: a stage's mu may be
+	// held when taking execMu, never the reverse.
+	execMu sync.Mutex
+	dead   []bool
 }
 
 // New builds a runtime from cfg.
@@ -50,10 +61,14 @@ func New(cfg Config) (*Runtime, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	return &Runtime{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		shuffle: NewShuffleStore(),
 		metrics: &Metrics{},
+		start:   time.Now(),
+		stages:  make(map[*stageState]struct{}),
+		dead:    make([]bool, cfg.Executors),
 	}, nil
 }
 
@@ -73,7 +88,142 @@ func (rt *Runtime) Close() {
 	rt.closed = true
 }
 
+// elapsed is the fault-injection clock: seconds since the runtime was
+// built.
+func (rt *Runtime) elapsed() float64 { return time.Since(rt.start).Seconds() }
+
+// ExecutorDead reports whether an executor has been failed.
+func (rt *Runtime) ExecutorDead(exec int) bool {
+	if exec < 0 || exec >= rt.cfg.Executors {
+		return true
+	}
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	return rt.dead[exec]
+}
+
+// AliveExecutors returns how many executors have not been failed.
+func (rt *Runtime) AliveExecutors() int {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	n := 0
+	for _, d := range rt.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// auditFault emits a recovery decision through the SchedAudit hook
+// under Policy "fault".
+func (rt *Runtime) auditFault(kind string, node int, value float64, detail string) {
+	if rt.cfg.SchedAudit != nil {
+		rt.cfg.SchedAudit(sched.AuditEvent{
+			Policy: "fault", Kind: kind, Node: node, Value: value, Detail: detail,
+		})
+	}
+}
+
+// AuditRecovery lets higher layers (the rdd driver's lineage recovery)
+// emit their decisions through the same audit hook the runtime's own
+// fault handling uses, under Policy "fault".
+func (rt *Runtime) AuditRecovery(kind string, node int, value float64, detail string) {
+	rt.auditFault(kind, node, value, detail)
+}
+
+// FailExecutor permanently removes an executor: its slots stop
+// dispatching, attempts in flight on it are discarded when they return
+// (and their tasks requeued), and every shuffle map output it produced
+// is invalidated so lineage re-execution rebuilds it. The invalidated
+// partitions are returned. Failing an already-dead executor is a no-op.
+//
+// Fault plans call this through the injector's crash triggers; tests
+// and operators may call it directly.
+func (rt *Runtime) FailExecutor(exec int) []LostPart {
+	if exec < 0 || exec >= rt.cfg.Executors {
+		return nil
+	}
+	rt.execMu.Lock()
+	if rt.dead[exec] {
+		rt.execMu.Unlock()
+		return nil
+	}
+	rt.dead[exec] = true
+	rt.execMu.Unlock()
+
+	lost := rt.shuffle.InvalidateOwner(exec)
+	rt.auditFault("crash", exec, float64(len(lost)),
+		fmt.Sprintf("executor %d lost; %d map outputs invalidated", exec, len(lost)))
+	rt.mu.Lock()
+	stages := make([]*stageState, 0, len(rt.stages))
+	for st := range rt.stages {
+		stages = append(stages, st)
+	}
+	rt.mu.Unlock()
+	for _, st := range stages {
+		st.executorLost(exec)
+	}
+	return lost
+}
+
+// checkTimeCrashes fires any time-triggered crashes now due.
+func (rt *Runtime) checkTimeCrashes() {
+	if rt.cfg.Faults == nil {
+		return
+	}
+	for _, exec := range rt.cfg.Faults.TimeCrashes(rt.elapsed()) {
+		rt.FailExecutor(exec)
+	}
+}
+
+// FetchShuffle fetches one reduce partition with bounded
+// retry-and-backoff against transient fetch faults. Missing map output
+// (executor loss or stage-ordering bugs) is returned immediately as a
+// MapOutputMissingError — that is not transient; the caller must
+// re-execute the missing partitions through lineage. Task bodies should
+// use this instead of Shuffle().Fetch.
+func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][]any, error) {
+	backoff := time.Duration(rt.cfg.FetchRetryBackoffSeconds * float64(time.Second))
+	var last error
+	for attempt := 0; attempt < rt.cfg.MaxFetchRetries; attempt++ {
+		if attempt > 0 {
+			rt.auditFault("fetch-retry", tc.Executor, float64(attempt),
+				fmt.Sprintf("shuffle=%d part=%d backoff=%s: %v", shuffleID, reducePart, backoff, last))
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if inj := rt.cfg.Faults; inj != nil {
+			if err := inj.FetchFailure(tc.Executor, rt.elapsed()); err != nil {
+				last = err
+				continue
+			}
+		}
+		out, err := rt.shuffle.Fetch(shuffleID, reducePart)
+		if err == nil {
+			return out, nil
+		}
+		var miss *MapOutputMissingError
+		if errors.As(err, &miss) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("engine: shuffle %d fetch for reduce partition %d failed after %d attempts: %w",
+		shuffleID, reducePart, rt.cfg.MaxFetchRetries, last)
+}
+
 // stageState tracks one stage execution under the dispatcher lock.
+//
+// Accounting contract (the invariants the retry/speculation audit
+// fixed): remaining decrements exactly once per task, strictly together
+// with setting done; failures counts real failed attempts (not launch
+// indices), so a failed speculative copy cannot exhaust a task's budget
+// while a healthy sibling runs; retries never holds a task twice
+// (queued), and a task is only requeued when it has no live attempt
+// left; the stage exits when all tasks are done, or on failure once
+// in-flight attempts drain (inFlight) — even if tasks were never
+// launched.
 type stageState struct {
 	rt       *Runtime
 	stageID  int
@@ -82,13 +232,19 @@ type stageState struct {
 	tasks    []TaskSpec
 	attempts []int
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	idle      []int // free cores per executor
-	retries   []int // failed or speculated tasks awaiting a launch
-	remaining int
-	failed    error
-	start     time.Time
+	mu            sync.Mutex
+	cond          *sync.Cond
+	idle          []int // free cores per executor (0 forever once dead)
+	retries       []int // failed or speculated tasks awaiting a launch
+	queued        []bool
+	failures      []int
+	liveOn        [][]int // executors currently running each task
+	remaining     int
+	inFlight      int
+	pendingTimers int // policy retry-hint timers outstanding
+	failed        error
+	finished      bool
+	start         time.Time
 
 	// speculation state
 	done          []bool
@@ -103,8 +259,10 @@ func (st *stageState) now() float64 { return time.Since(st.start).Seconds() }
 
 // RunStage executes tasks to completion and returns the first fatal
 // error. Tasks that error or panic are retried (on any executor) until
-// MaxTaskFailures attempts are spent; exhausting attempts fails the
-// stage after in-flight tasks drain.
+// MaxTaskFailures real failures are spent; exhausting the budget fails
+// the stage after in-flight tasks drain. Attempts lost to executor
+// failure do not count against the budget — the task is requeued on the
+// surviving executors.
 func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 	rt.mu.Lock()
 	if rt.closed {
@@ -128,6 +286,9 @@ func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 		tasks:      tasks,
 		attempts:   make([]int, len(tasks)),
 		idle:       make([]int, rt.cfg.Executors),
+		queued:     make([]bool, len(tasks)),
+		failures:   make([]int, len(tasks)),
+		liveOn:     make([][]int, len(tasks)),
 		remaining:  len(tasks),
 		start:      time.Now(),
 		done:       make([]bool, len(tasks)),
@@ -135,11 +296,26 @@ func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 		speculated: make(map[int]bool),
 	}
 	st.cond = sync.NewCond(&st.mu)
+	for i := range st.idle {
+		if !rt.ExecutorDead(i) {
+			st.idle[i] = rt.cfg.CoresPerExecutor
+		}
+	}
+	rt.mu.Lock()
+	rt.stages[st] = struct{}{}
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		delete(rt.stages, st)
+		rt.mu.Unlock()
+	}()
+
 	if rt.cfg.Speculation {
 		st.scheduleSpeculationCheck()
 	}
-	for i := range st.idle {
-		st.idle[i] = rt.cfg.CoresPerExecutor
+	if rt.cfg.Faults != nil {
+		rt.checkTimeCrashes()
+		st.scheduleFaultCheck()
 	}
 
 	infos := make([]sched.TaskInfo, len(tasks))
@@ -150,13 +326,17 @@ func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 	st.mu.Lock()
 	st.policy.StageStart(infos, st.now())
 	stageStart := time.Now()
+	if rt.AliveExecutors() == 0 {
+		st.failed = ErrAllExecutorsLost
+	}
 	st.dispatchLocked()
-	for st.remaining > 0 {
+	for st.remaining > 0 && (st.failed == nil || st.inFlight > 0) {
 		st.cond.Wait()
-		if st.remaining > 0 {
+		if st.remaining > 0 && st.failed == nil {
 			st.dispatchLocked()
 		}
 	}
+	st.finished = true
 	err := st.failed
 	specs := st.speculations
 	st.mu.Unlock()
@@ -171,55 +351,153 @@ func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 	return nil
 }
 
+// requeueLocked ensures a task will run again, unless it is already
+// done, already queued, or still has a live attempt that may yet
+// succeed (in which case that attempt's own completion decides).
+func (st *stageState) requeueLocked(id int) {
+	if st.done[id] || st.queued[id] || len(st.liveOn[id]) > 0 {
+		return
+	}
+	st.queued[id] = true
+	st.retries = append(st.retries, id)
+	delete(st.running, id)
+}
+
+// removeLiveLocked drops one live-attempt record of task id on exec;
+// absent records (already dropped by executorLost) are tolerated.
+func (st *stageState) removeLiveLocked(id, exec int) {
+	live := st.liveOn[id]
+	for i, e := range live {
+		if e == exec {
+			st.liveOn[id] = append(live[:i], live[i+1:]...)
+			return
+		}
+	}
+}
+
+// executorLost reacts to an executor failure while the stage runs:
+// its slots are withdrawn, tasks whose only live attempts were on it
+// are requeued, and the stage fails outright if no executor survives.
+func (st *stageState) executorLost(exec int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished || exec < 0 || exec >= len(st.idle) {
+		return
+	}
+	st.idle[exec] = 0
+	for id := range st.tasks {
+		if st.done[id] {
+			continue
+		}
+		live := st.liveOn[id][:0]
+		lostAttempt := false
+		for _, e := range st.liveOn[id] {
+			if e == exec {
+				lostAttempt = true
+			} else {
+				live = append(live, e)
+			}
+		}
+		st.liveOn[id] = live
+		if lostAttempt && len(live) == 0 {
+			st.rt.auditFault("requeue", exec, float64(id),
+				fmt.Sprintf("stage=%s task=%d lost with executor", st.name, id))
+			st.requeueLocked(id)
+		}
+	}
+	if st.rt.AliveExecutors() == 0 && st.failed == nil {
+		st.failed = ErrAllExecutorsLost
+	}
+	if st.failed == nil {
+		st.dispatchLocked()
+	}
+	st.cond.Broadcast()
+}
+
 // dispatchLocked offers every free slot to the policy. Called with
 // st.mu held.
 func (st *stageState) dispatchLocked() {
 	if st.failed != nil {
 		return
 	}
-	// Retried and speculated tasks run before fresh offers; entries whose
-	// task has meanwhile completed are dropped. Each goes to the executor
-	// with the most idle cores so a retry burst spreads across the
-	// cluster instead of piling onto executor 0.
-	for len(st.retries) > 0 {
-		id := st.retries[0]
-		if st.done[id] {
-			st.retries = st.retries[1:]
-			continue
-		}
-		best := -1
-		for exec := range st.idle {
-			if st.idle[exec] > 0 && (best < 0 || st.idle[exec] > st.idle[best]) {
-				best = exec
+	for pass := 0; ; pass++ {
+		// Retried and speculated tasks run before fresh offers; entries
+		// whose task has meanwhile completed are dropped. Each goes to
+		// the executor with the most idle cores so a retry burst spreads
+		// across the cluster instead of piling onto executor 0.
+		for len(st.retries) > 0 {
+			id := st.retries[0]
+			if st.done[id] {
+				st.retries = st.retries[1:]
+				st.queued[id] = false
+				continue
 			}
-		}
-		if best < 0 {
-			return // all slots busy
-		}
-		st.retries = st.retries[1:]
-		st.idle[best]--
-		go st.runTask(sched.Decision{TaskID: id, Local: false}, best)
-	}
-	for exec := range st.idle {
-		for st.idle[exec] > 0 {
-			d := st.policy.Offer(exec, st.now())
-			if d.TaskID < 0 {
-				if d.Retry > 0 {
-					st.scheduleRetry(d.Retry)
+			best := -1
+			for exec := range st.idle {
+				if st.idle[exec] > 0 && (best < 0 || st.idle[exec] > st.idle[best]) {
+					best = exec
 				}
-				break
 			}
-			st.idle[exec]--
-			go st.runTask(d, exec)
+			if best < 0 {
+				return // all slots busy
+			}
+			st.retries = st.retries[1:]
+			st.queued[id] = false
+			st.idle[best]--
+			st.inFlight++
+			go st.runTask(sched.Decision{TaskID: id, Local: false}, best)
 		}
+		for exec := range st.idle {
+			for st.idle[exec] > 0 {
+				d := st.policy.Offer(exec, st.now())
+				if d.TaskID < 0 {
+					if d.Retry > 0 {
+						st.scheduleRetry(d.Retry)
+					}
+					break
+				}
+				if st.done[d.TaskID] {
+					// The policy re-issued a task the stage already
+					// force-dispatched; drop the stale assignment.
+					continue
+				}
+				st.idle[exec]--
+				st.inFlight++
+				go st.runTask(d, exec)
+			}
+		}
+		// Wedge breaker: nothing is running, nothing is queued, no
+		// retry timer is armed, yet tasks remain — the policy has
+		// stranded them (e.g. tasks pinned to a crashed executor, or a
+		// load balancer pausing every surviving node with no completion
+		// left to resume it). Force the stranded tasks through the
+		// retry queue so the stage always either progresses or fails.
+		if pass == 0 && st.inFlight == 0 && st.remaining > 0 &&
+			len(st.retries) == 0 && st.pendingTimers == 0 {
+			forced := 0
+			for id := range st.tasks {
+				if !st.done[id] && !st.queued[id] && len(st.liveOn[id]) == 0 {
+					st.requeueLocked(id)
+					forced++
+				}
+			}
+			if forced > 0 {
+				st.rt.auditFault("force-dispatch", -1, float64(forced),
+					fmt.Sprintf("stage=%s stranded tasks forced past the policy", st.name))
+				continue
+			}
+		}
+		return
 	}
 }
 
 // scheduleRetry wakes the dispatcher after the policy-requested wait.
 func (st *stageState) scheduleRetry(after float64) {
+	st.pendingTimers++
 	time.AfterFunc(time.Duration(after*float64(time.Second))+time.Millisecond, func() {
 		st.mu.Lock()
 		defer st.mu.Unlock()
+		st.pendingTimers--
 		if st.remaining > 0 && st.failed == nil {
 			st.dispatchLocked()
 			st.cond.Broadcast()
@@ -232,7 +510,7 @@ func (st *stageState) scheduleSpeculationCheck() {
 	interval := time.Duration(st.rt.cfg.SpeculationIntervalSeconds * float64(time.Second))
 	time.AfterFunc(interval, func() {
 		st.mu.Lock()
-		if st.remaining == 0 || st.failed != nil {
+		if st.finished || st.remaining == 0 || st.failed != nil {
 			st.mu.Unlock()
 			return
 		}
@@ -241,6 +519,21 @@ func (st *stageState) scheduleSpeculationCheck() {
 		st.cond.Broadcast()
 		st.mu.Unlock()
 		st.scheduleSpeculationCheck()
+	})
+}
+
+// scheduleFaultCheck arms the periodic time-based crash-trigger poll.
+func (st *stageState) scheduleFaultCheck() {
+	interval := time.Duration(st.rt.cfg.FaultCheckIntervalSeconds * float64(time.Second))
+	time.AfterFunc(interval, func() {
+		st.mu.Lock()
+		fin := st.finished || st.remaining == 0
+		st.mu.Unlock()
+		if fin {
+			return
+		}
+		st.rt.checkTimeCrashes()
+		st.scheduleFaultCheck()
 	})
 }
 
@@ -256,12 +549,15 @@ func (st *stageState) speculateLocked() {
 	threshold := durs[len(durs)/2] * st.rt.cfg.SpeculationMultiplier
 	now := time.Now()
 	for id, since := range st.running {
-		if st.done[id] || st.speculated[id] {
+		if st.done[id] || st.speculated[id] || st.queued[id] {
 			continue
 		}
 		if now.Sub(since).Seconds() > threshold {
 			st.speculated[id] = true
 			st.speculations++
+			// Deliberately duplicates a live task: queued is set so the
+			// duplicate cannot itself be duplicated before launching.
+			st.queued[id] = true
 			st.retries = append(st.retries, id)
 		}
 	}
@@ -272,13 +568,40 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 	if d.Delay > 0 {
 		time.Sleep(time.Duration(d.Delay * float64(time.Second)))
 	}
+	rt := st.rt
+	inj := rt.cfg.Faults
+
 	st.mu.Lock()
+	if st.done[d.TaskID] || rt.ExecutorDead(exec) {
+		// Launch aborted: the task already completed, or the executor
+		// died between dispatch and launch. A failed stage does NOT
+		// abort here — dispatched attempts drain normally.
+		if !rt.ExecutorDead(exec) {
+			st.idle[exec]++
+		}
+		st.inFlight--
+		if !st.done[d.TaskID] && st.failed == nil {
+			st.requeueLocked(d.TaskID)
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+		return
+	}
 	attempt := st.attempts[d.TaskID]
 	st.attempts[d.TaskID]++
+	st.liveOn[d.TaskID] = append(st.liveOn[d.TaskID], exec)
 	if _, live := st.running[d.TaskID]; !live {
 		st.running[d.TaskID] = time.Now()
 	}
 	st.mu.Unlock()
+
+	if inj != nil {
+		if hd := inj.HangDuration(exec, rt.elapsed()); hd > 0 {
+			rt.auditFault("hang", exec, hd,
+				fmt.Sprintf("stage=%s task=%d attempt=%d", st.name, d.TaskID, attempt))
+			time.Sleep(time.Duration(hd * float64(time.Second)))
+		}
+	}
 
 	tc := &TaskContext{
 		StageID:  st.stageID,
@@ -287,16 +610,34 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 		Executor: exec,
 	}
 	start := time.Now()
-	st.rt.listeners.taskStart(TaskEvent{
+	rt.listeners.taskStart(TaskEvent{
 		Stage:    st.name,
 		TaskID:   d.TaskID,
 		Attempt:  attempt,
 		Executor: exec,
 		Start:    start,
 	})
-	err := runBody(st.tasks[d.TaskID].Run, tc)
+	var err error
+	if inj != nil {
+		if err = inj.TaskFailure(exec, d.TaskID, rt.elapsed()); err != nil {
+			rt.auditFault("task-fail", exec, float64(d.TaskID),
+				fmt.Sprintf("stage=%s attempt=%d injected", st.name, attempt))
+		}
+	}
+	if err == nil {
+		err = runBody(st.tasks[d.TaskID].Run, tc)
+	}
 	dur := time.Since(start).Seconds()
-	st.rt.listeners.taskEnd(TaskEvent{
+	if inj != nil && err == nil {
+		if f := inj.SlowFactor(exec, rt.elapsed()); f > 1 {
+			// Model the degraded device (SSD buffer depletion): the
+			// attempt takes factor times longer in wall time, which is
+			// what the speculation scanner keys on.
+			time.Sleep(time.Duration(dur * (f - 1) * float64(time.Second)))
+			dur *= f
+		}
+	}
+	rt.listeners.taskEnd(TaskEvent{
 		Stage:        st.name,
 		TaskID:       d.TaskID,
 		Attempt:      attempt,
@@ -308,37 +649,66 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 	})
 
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.idle[exec]++
+	lost := rt.ExecutorDead(exec) // died while the attempt ran
+	st.removeLiveLocked(d.TaskID, exec)
+	st.inFlight--
+	if !lost {
+		st.idle[exec]++
+	}
 	if st.done[d.TaskID] {
-		// A speculative sibling already won; discard this outcome.
+		// A sibling attempt already settled this task; discard.
 		st.cond.Broadcast()
+		st.mu.Unlock()
+		return
+	}
+	if lost {
+		// The attempt went down with its executor: that is a loss, not
+		// a failure — it does not burn the task's retry budget.
+		rt.auditFault("task-lost", exec, float64(d.TaskID),
+			fmt.Sprintf("stage=%s attempt=%d discarded", st.name, attempt))
+		st.requeueLocked(d.TaskID)
+		st.cond.Broadcast()
+		st.mu.Unlock()
 		return
 	}
 	st.policy.Completed(d.TaskID, exec, st.now(), sched.TaskStats{
 		Duration:          dur,
 		IntermediateBytes: tc.shuffleBytes,
 	})
-	st.rt.metrics.recordTask(dur, tc.shuffleBytes, d.Local, err != nil)
+	rt.metrics.recordTask(dur, tc.shuffleBytes, d.Local, err != nil)
+	success := err == nil
 	switch {
-	case err == nil:
+	case success:
 		st.done[d.TaskID] = true
 		delete(st.running, d.TaskID)
 		st.completedDurs = append(st.completedDurs, dur)
 		st.remaining--
-	case attempt+1 >= st.rt.cfg.MaxTaskFailures:
-		if st.failed == nil {
-			st.failed = fmt.Errorf("task %d failed after %d attempts: %w",
-				d.TaskID, attempt+1, err)
-		}
-		st.done[d.TaskID] = true
-		delete(st.running, d.TaskID)
-		st.remaining-- // give up on this task; drain the rest
 	default:
-		// Re-queue the task for another attempt anywhere.
-		st.retries = append(st.retries, d.TaskID)
+		st.failures[d.TaskID]++
+		if st.failures[d.TaskID] >= rt.cfg.MaxTaskFailures {
+			if st.failed == nil {
+				st.failed = fmt.Errorf("task %d failed after %d attempts: %w",
+					d.TaskID, st.failures[d.TaskID], err)
+			}
+			st.done[d.TaskID] = true
+			delete(st.running, d.TaskID)
+			st.remaining-- // give up on this task; drain the rest
+		} else {
+			// Requeue unless a live sibling attempt may still succeed;
+			// if that sibling fails too, its completion requeues.
+			st.requeueLocked(d.TaskID)
+		}
 	}
 	st.cond.Broadcast()
+	st.mu.Unlock()
+
+	// Count-based crash triggers fire on successful completions, after
+	// the stage lock is released (FailExecutor re-enters stage state).
+	if inj != nil && success {
+		for _, e := range inj.TaskCompleted(rt.elapsed()) {
+			rt.FailExecutor(e)
+		}
+	}
 }
 
 // runBody invokes a task body, converting panics into errors.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -10,14 +11,22 @@ import (
 // layer restores their static types.
 //
 // Locking is sharded: the store-level RWMutex only guards the shuffle
-// registry (Register/Drop take it exclusively, everything else shared),
-// and each shuffle carries its own RWMutex. Concurrent map tasks writing
-// different shuffles, and reduce fetches against an already-written
-// shuffle, no longer serialize on one global lock.
+// registry and the lost-executor set (Register/Drop/InvalidateOwner
+// take it exclusively, everything else shared), and each shuffle
+// carries its own RWMutex. Concurrent map tasks writing different
+// shuffles, and reduce fetches against an already-written shuffle, do
+// not serialize on one global lock.
+//
+// For fault recovery the store tracks provenance: PutFrom records which
+// executor produced each map partition, InvalidateOwner drops every
+// partition a lost executor produced (and bans late writes from its
+// zombie attempts), and MissingParts lists what lineage re-execution
+// must rebuild.
 type ShuffleStore struct {
 	mu       sync.RWMutex
 	shuffles map[int]*shuffleData
 	nextID   int
+	lost     map[int]bool // executors whose writes are no longer accepted
 }
 
 // shuffleData holds one shuffle's buckets: [mapPartition][reducePartition].
@@ -27,11 +36,18 @@ type shuffleData struct {
 	reduceParts int
 	buckets     [][][]any
 	written     []bool
+	owners      []int // producing executor per map partition; -1 unknown
+}
+
+// LostPart identifies one invalidated map output.
+type LostPart struct {
+	Shuffle int
+	MapPart int
 }
 
 // NewShuffleStore returns an empty store.
 func NewShuffleStore() *ShuffleStore {
-	return &ShuffleStore{shuffles: make(map[int]*shuffleData)}
+	return &ShuffleStore{shuffles: make(map[int]*shuffleData), lost: make(map[int]bool)}
 }
 
 // Register allocates a shuffle with the given geometry and returns its
@@ -44,29 +60,48 @@ func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
 	for i := range buckets {
 		buckets[i] = make([][]any, reduceParts)
 	}
+	owners := make([]int, mapParts)
+	for i := range owners {
+		owners[i] = -1
+	}
 	s.shuffles[s.nextID] = &shuffleData{
 		mapParts:    mapParts,
 		reduceParts: reduceParts,
 		buckets:     buckets,
 		written:     make([]bool, mapParts),
+		owners:      owners,
 	}
 	return s.nextID
 }
 
-// get looks a shuffle up under the shared registry lock.
-func (s *ShuffleStore) get(shuffleID int) (*shuffleData, bool) {
+// get looks a shuffle up under the shared registry lock, also reporting
+// whether owner is banned from writing.
+func (s *ShuffleStore) get(shuffleID, owner int) (*shuffleData, bool, bool) {
 	s.mu.RLock()
 	d, ok := s.shuffles[shuffleID]
+	banned := owner >= 0 && s.lost[owner]
 	s.mu.RUnlock()
-	return d, ok
+	return d, ok, banned
 }
 
-// Put stores a map partition's output buckets. Re-puts (task retries)
+// Put stores a map partition's output buckets with no provenance (the
+// partition survives executor failures). Re-puts (task retries)
 // overwrite the previous attempt.
 func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
-	d, ok := s.get(shuffleID)
+	return s.PutFrom(shuffleID, mapPart, -1, buckets)
+}
+
+// PutFrom stores a map partition's output buckets produced by owner.
+// Writes from an executor that has been invalidated are rejected with
+// ErrExecutorLost, so a zombie attempt racing its executor's loss
+// cannot resurrect dropped output.
+func (s *ShuffleStore) PutFrom(shuffleID, mapPart, owner int, buckets [][]any) error {
+	d, ok, banned := s.get(shuffleID, owner)
 	if !ok {
 		return fmt.Errorf("engine: unknown shuffle %d", shuffleID)
+	}
+	if banned {
+		return fmt.Errorf("engine: shuffle %d: write from executor %d: %w", shuffleID, owner, ErrExecutorLost)
 	}
 	if mapPart < 0 || mapPart >= d.mapParts {
 		return fmt.Errorf("engine: shuffle %d: map partition %d out of range", shuffleID, mapPart)
@@ -77,14 +112,16 @@ func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
 	d.mu.Lock()
 	d.buckets[mapPart] = buckets
 	d.written[mapPart] = true
+	d.owners[mapPart] = owner
 	d.mu.Unlock()
 	return nil
 }
 
-// Fetch returns all map-side buckets for one reduce partition. It fails
-// if any map partition has not been written (stage ordering bug).
+// Fetch returns all map-side buckets for one reduce partition. A map
+// partition that has not been written — never materialized, or
+// invalidated by executor loss — yields a MapOutputMissingError.
 func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
-	d, ok := s.get(shuffleID)
+	d, ok, _ := s.get(shuffleID, -1)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown shuffle %d", shuffleID)
 	}
@@ -96,16 +133,71 @@ func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
 	out := make([][]any, d.mapParts)
 	for m := 0; m < d.mapParts; m++ {
 		if !d.written[m] {
-			return nil, fmt.Errorf("engine: shuffle %d: map partition %d not materialized", shuffleID, m)
+			return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: m}
 		}
 		out[m] = d.buckets[m][reducePart]
 	}
 	return out, nil
 }
 
+// InvalidateOwner drops every map partition the given executor
+// produced, across all registered shuffles, and bans its future writes.
+// It returns the invalidated partitions (sorted by shuffle, then map
+// partition) so callers can audit and re-execute them.
+func (s *ShuffleStore) InvalidateOwner(owner int) []LostPart {
+	if owner < 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.lost[owner] = true
+	ids := make([]int, 0, len(s.shuffles))
+	for id := range s.shuffles {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Ints(ids)
+
+	var lost []LostPart
+	for _, id := range ids {
+		d, ok, _ := s.get(id, -1)
+		if !ok {
+			continue
+		}
+		d.mu.Lock()
+		for m := 0; m < d.mapParts; m++ {
+			if d.written[m] && d.owners[m] == owner {
+				d.written[m] = false
+				d.buckets[m] = make([][]any, d.reduceParts)
+				d.owners[m] = -1
+				lost = append(lost, LostPart{Shuffle: id, MapPart: m})
+			}
+		}
+		d.mu.Unlock()
+	}
+	return lost
+}
+
+// MissingParts returns the map partitions of a shuffle that are not
+// currently materialized, ascending.
+func (s *ShuffleStore) MissingParts(shuffleID int) []int {
+	d, ok, _ := s.get(shuffleID, -1)
+	if !ok {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []int
+	for m := 0; m < d.mapParts; m++ {
+		if !d.written[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // Complete reports whether every map partition has been written.
 func (s *ShuffleStore) Complete(shuffleID int) bool {
-	d, ok := s.get(shuffleID)
+	d, ok, _ := s.get(shuffleID, -1)
 	if !ok {
 		return false
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -100,5 +101,106 @@ func TestShuffleStoreConcurrentPutFetch(t *testing.T) {
 	}
 	if got := s.Len(); got != shuffles {
 		t.Fatalf("Len = %d after churn, want %d", got, shuffles)
+	}
+}
+
+// TestShuffleStoreConcurrentInvalidation races owner invalidation (node
+// loss) against concurrent fetches and re-puts from surviving owners.
+// Under -race this is the acceptance test for the fault-recovery paths:
+// fetches either succeed or report a typed MapOutputMissingError, banned
+// owners can never write again, and after the storm a full re-put from a
+// surviving owner restores completeness.
+func TestShuffleStoreConcurrentInvalidation(t *testing.T) {
+	s := NewShuffleStore()
+	const (
+		mapParts    = 32
+		reduceParts = 4
+		owners      = 4 // executors 0..3; 4+ survive
+		rounds      = 60
+	)
+	id := s.Register(mapParts, reduceParts)
+	mkBuckets := func(m int) [][]any {
+		b := make([][]any, reduceParts)
+		for r := range b {
+			b[r] = []any{m * r}
+		}
+		return b
+	}
+	for m := 0; m < mapParts; m++ {
+		if err := s.PutFrom(id, m, m%owners, mkBuckets(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	// Invalidators: each kills one owner mid-flight.
+	for o := 0; o < owners; o++ {
+		o := o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.InvalidateOwner(o)
+			// A zombie write from the dead owner must be rejected.
+			if err := s.PutFrom(id, o, o, mkBuckets(o)); err == nil {
+				errc <- fmt.Errorf("owner %d wrote after invalidation", o)
+			}
+		}()
+	}
+	// Readers tolerate holes but nothing else.
+	for r := 0; r < 8; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				_, err := s.Fetch(id, (r+i)%reduceParts)
+				if err != nil {
+					var miss *MapOutputMissingError
+					if !errors.As(err, &miss) {
+						errc <- fmt.Errorf("fetch: %v", err)
+						return
+					}
+				}
+				_ = s.MissingParts(id)
+				_ = s.Complete(id)
+			}
+		}()
+	}
+	// Recovery writers: survivors re-execute whatever is missing.
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for _, m := range s.MissingParts(id) {
+					if err := s.PutFrom(id, m, owners+w, mkBuckets(m)); err != nil {
+						errc <- fmt.Errorf("recovery put: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesced: one final recovery pass restores completeness.
+	for _, m := range s.MissingParts(id) {
+		if err := s.PutFrom(id, m, owners, mkBuckets(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Complete(id) {
+		t.Fatalf("shuffle incomplete after recovery; missing %v", s.MissingParts(id))
+	}
+	for r := 0; r < reduceParts; r++ {
+		if _, err := s.Fetch(id, r); err != nil {
+			t.Fatalf("fetch after recovery: %v", err)
+		}
 	}
 }

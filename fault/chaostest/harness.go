@@ -1,0 +1,318 @@
+// Package chaostest is the property-based chaos harness: it replays
+// seeded fault plans against the simulator and checks job-level
+// invariants against a fault-free golden run of the same job on an
+// identically configured cluster.
+//
+// Invariants checked on every trial:
+//
+//  1. the job completes, and its result (task count, total intermediate
+//     volume) equals the fault-free golden;
+//  2. no task of a stage completes twice — the zombie-suppression
+//     contract of the stage runner;
+//  3. no task span overlaps the crash of the node it ran on (work on a
+//     dead node must never be recorded);
+//  4. metrics balance: per-node intermediate bytes are non-negative and
+//     sum to the golden total;
+//  5. under ELB, no healthy (never-crashed) node is starved of map
+//     tasks when the job has at least 4 tasks per node.
+//
+// A failing seed reproduces from the seed alone; Shrink reduces its
+// plan to a locally minimal set of fault events that still violates.
+package chaostest
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hpcmr/fault"
+	"hpcmr/sim"
+	"hpcmr/trace"
+)
+
+// Config describes the cluster and job one chaos trial runs.
+type Config struct {
+	// Nodes is the simulated cluster size (default 8).
+	Nodes int
+	// CoresPerNode defaults to 4.
+	CoresPerNode int
+	// Tasks is the number of map tasks (default 32).
+	Tasks int
+	// Policy is the map-phase policy under test (default ELB — the
+	// paper's load balancer, whose starvation freedom is invariant 5).
+	Policy sim.Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 4
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 32
+	}
+	if c.Policy == "" {
+		c.Policy = sim.ELB
+	}
+	return c
+}
+
+// splitBytes keeps trial jobs small: Tasks splits of 32 MB.
+const splitBytes = 32e6
+
+func (c Config) job() sim.Job {
+	return sim.Job{
+		Benchmark:  sim.GroupBy,
+		InputBytes: float64(c.Tasks) * splitBytes,
+		SplitBytes: splitBytes,
+		Policy:     c.Policy,
+	}
+}
+
+func (c Config) cluster() (*sim.Cluster, error) {
+	return sim.New(sim.Config{
+		Nodes:        c.Nodes,
+		CoresPerNode: c.CoresPerNode,
+		Device:       sim.RAMDisk,
+		Seed:         1,
+	})
+}
+
+// Report is the outcome of one chaos trial.
+type Report struct {
+	Plan   fault.Plan
+	Golden *sim.Result
+	// Result is nil when the faulted job failed outright.
+	Result *sim.Result
+	// Events is the faulted run's full trace.
+	Events []trace.Event
+	// Violations lists every invariant breach; empty means the trial
+	// passed.
+	Violations []string
+}
+
+// Failed reports whether the trial violated any invariant.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary formats the trial outcome as one line.
+func (r *Report) Summary() string {
+	if !r.Failed() {
+		return fmt.Sprintf("ok: %d events, job=%.2fs (golden %.2fs)",
+			len(r.Plan.Events), r.Result.JobTime, r.Golden.JobTime)
+	}
+	return fmt.Sprintf("FAIL: %d events, %d violations: %s",
+		len(r.Plan.Events), len(r.Violations), strings.Join(r.Violations, "; "))
+}
+
+// RunSeed generates the plan for seed and runs one trial with it.
+func RunSeed(cfg Config, seed int64) (*Report, error) {
+	cfg = cfg.withDefaults()
+	plan := fault.Generate(seed, fault.GenConfig{Nodes: cfg.Nodes, Tasks: cfg.Tasks})
+	return RunPlan(cfg, plan)
+}
+
+// RunPlan runs the golden job and the faulted job on fresh, identically
+// configured clusters and checks the invariants. The returned error
+// covers only setup problems (bad config, invalid plan); job failures
+// under faults are reported as violations.
+func RunPlan(cfg Config, plan fault.Plan) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("chaostest: invalid plan: %w", err)
+	}
+	rep := &Report{Plan: plan}
+
+	gc, err := cfg.cluster()
+	if err != nil {
+		return nil, err
+	}
+	rep.Golden, err = gc.Run(cfg.job())
+	if err != nil {
+		return nil, fmt.Errorf("chaostest: golden run failed: %w", err)
+	}
+
+	fc, err := cfg.cluster()
+	if err != nil {
+		return nil, err
+	}
+	if err := fc.InjectFaults(plan); err != nil {
+		return nil, err
+	}
+	tr := fc.Trace(trace.Options{})
+	rep.Result, err = fc.Run(cfg.job())
+	rep.Events = tr.Events()
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("job failed under faults: %v", err))
+		return rep, nil
+	}
+	rep.check(cfg)
+	return rep, nil
+}
+
+// check evaluates all invariants on a completed faulted run.
+func (r *Report) check(cfg Config) {
+	r.checkGoldenEquivalence()
+	crashTimes := r.crashTimes()
+	r.checkNoDuplicateCompletion()
+	r.checkNoWorkOnDeadNodes(crashTimes)
+	r.checkMetricsBalance()
+	r.checkNoStarvation(cfg, crashTimes)
+}
+
+// crashTimes maps node -> virtual time of its injected crash.
+func (r *Report) crashTimes() map[int]float64 {
+	ct := map[int]float64{}
+	for _, e := range r.Events {
+		if e.Cat == trace.CatFault && e.Name == "fault:crash" {
+			ct[e.Node] = e.TS
+		}
+	}
+	return ct
+}
+
+// Invariant 1: result equals the fault-free golden.
+func (r *Report) checkGoldenEquivalence() {
+	if r.Result.MapTasks != r.Golden.MapTasks {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"map tasks completed = %d, golden = %d", r.Result.MapTasks, r.Golden.MapTasks))
+	}
+	got := sumOf(r.Result.PerNodeIntermediate)
+	want := sumOf(r.Golden.PerNodeIntermediate)
+	if !approxEqual(got, want) {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"intermediate bytes = %g, golden = %g", got, want))
+	}
+}
+
+// Invariant 2: each (stage, task) completes exactly once.
+func (r *Report) checkNoDuplicateCompletion() {
+	seen := map[string]int{}
+	for _, e := range r.Events {
+		if e.Cat != trace.CatTask {
+			continue
+		}
+		key := fmt.Sprintf("%s/%d", e.Stage, e.Task)
+		seen[key]++
+	}
+	var dups []string
+	for key, n := range seen {
+		if n > 1 {
+			dups = append(dups, fmt.Sprintf("%s x%d", key, n))
+		}
+	}
+	if len(dups) > 0 {
+		sort.Strings(dups)
+		r.Violations = append(r.Violations, "tasks completed more than once: "+strings.Join(dups, ", "))
+	}
+}
+
+// Invariant 3: no recorded task span extends past the crash of its node.
+func (r *Report) checkNoWorkOnDeadNodes(crashTimes map[int]float64) {
+	for _, e := range r.Events {
+		if e.Cat != trace.CatTask {
+			continue
+		}
+		crash, crashed := crashTimes[e.Node]
+		if crashed && e.End() > crash+1e-9 {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"task %s/%d recorded on node %d past its crash at %.3fs (span end %.3fs)",
+				e.Stage, e.Task, e.Node, crash, e.End()))
+		}
+	}
+}
+
+// Invariant 4: per-node intermediate volumes are sane.
+func (r *Report) checkMetricsBalance() {
+	for node, b := range r.Result.PerNodeIntermediate {
+		if b < 0 || math.IsNaN(b) {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"node %d intermediate bytes = %g", node, b))
+		}
+	}
+}
+
+// Invariant 5: under ELB with ≥4 tasks per node, every node that was
+// never crashed runs at least one map task — the load balancer must not
+// starve healthy nodes while routing around dead ones.
+func (r *Report) checkNoStarvation(cfg Config, crashTimes map[int]float64) {
+	if cfg.Policy != sim.ELB || cfg.Tasks < 4*cfg.Nodes {
+		return
+	}
+	ran := make([]bool, cfg.Nodes)
+	for _, e := range r.Events {
+		if e.Cat == trace.CatTask && strings.HasPrefix(e.Stage, "map/") &&
+			e.Node >= 0 && e.Node < cfg.Nodes {
+			ran[e.Node] = true
+		}
+	}
+	for node, ok := range ran {
+		if _, crashed := crashTimes[node]; !ok && !crashed {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"healthy node %d ran no map tasks (ELB starvation)", node))
+		}
+	}
+}
+
+// Shrink greedily minimizes a failing plan: while removing any single
+// event still reproduces a violation, remove it. The result is locally
+// minimal — every remaining event is necessary for the failure.
+func Shrink(cfg Config, plan fault.Plan) (fault.Plan, error) {
+	cfg = cfg.withDefaults()
+	for {
+		removed := false
+		for i := 0; i < len(plan.Events); i++ {
+			cand := fault.Plan{Seed: plan.Seed}
+			cand.Events = append(cand.Events, plan.Events[:i]...)
+			cand.Events = append(cand.Events, plan.Events[i+1:]...)
+			rep, err := RunPlan(cfg, cand)
+			if err != nil {
+				return plan, err
+			}
+			if rep.Failed() {
+				plan = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return plan, nil
+		}
+	}
+}
+
+// TraceJSONL runs plan on a fresh cluster and returns the faulted run's
+// trace as JSONL bytes — the determinism witness: the same plan on the
+// same config must produce byte-identical output on every run.
+func TraceJSONL(cfg Config, plan fault.Plan) ([]byte, error) {
+	rep, err := RunPlan(cfg, plan)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rep.Events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// approxEqual compares volumes to one part in a million.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*scale
+}

@@ -117,6 +117,7 @@ type Node struct {
 	phase     float64
 	period    float64
 	idleCores int
+	down      bool
 }
 
 // Cluster is the assembled machine.
@@ -195,6 +196,14 @@ func (n *Node) Speed(t float64) float64 {
 
 // IdleCores returns the node's free core slots.
 func (n *Node) IdleCores() int { return n.idleCores }
+
+// Alive reports whether the node is still part of the cluster.
+func (n *Node) Alive() bool { return !n.down }
+
+// Fail permanently removes the node: it stops accepting task launches
+// and its core accounting is frozen. Work already dispatched to it is
+// the scheduler's problem (see core's stageRunner.nodeLost).
+func (n *Node) Fail() { n.down = true }
 
 // AcquireCore takes a core slot; it reports false when none are free.
 func (n *Node) AcquireCore() bool {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hpcmr/fault"
 	"hpcmr/internal/cluster"
 	"hpcmr/internal/dfs"
 	"hpcmr/internal/lustre"
@@ -52,13 +53,68 @@ type Engine struct {
 	// simulator's virtual clock (build it with trace.New(C.Sim.Now, ...)).
 	// It records passively — tracing never perturbs simulated time.
 	Tracer *trace.Tracer
+	// Faults, when set, replays a deterministic fault plan against the
+	// simulated job: the same plan an engine.Runtime can replay in real
+	// time. Virtual time is the injector's clock here.
+	Faults *fault.Injector
 
 	jobSeq int
+	// activeStages lists stages currently running, in start order —
+	// deterministic iteration matters when a crash fans out to them.
+	activeStages []*stageRunner
+	crashesArmed bool
 }
 
 // NewEngine wires an engine over the given systems.
 func NewEngine(c *cluster.Cluster, hdfs *dfs.FS, lfs *lustre.FS) *Engine {
 	return &Engine{C: c, HDFS: hdfs, Lustre: lfs}
+}
+
+// stageStarted registers a running stage for crash fan-out.
+func (e *Engine) stageStarted(r *stageRunner) {
+	e.activeStages = append(e.activeStages, r)
+}
+
+// stageDone removes a finished stage from the crash fan-out set.
+func (e *Engine) stageDone(r *stageRunner) {
+	for i, s := range e.activeStages {
+		if s == r {
+			e.activeStages = append(e.activeStages[:i], e.activeStages[i+1:]...)
+			return
+		}
+	}
+}
+
+// crashNode permanently fails one simulated node and lets every active
+// stage invalidate and requeue the attempts it loses.
+func (e *Engine) crashNode(node int) {
+	if node < 0 || node >= len(e.C.Nodes) || !e.C.Nodes[node].Alive() {
+		return
+	}
+	e.C.Nodes[node].Fail()
+	e.Tracer.InstantEvent(trace.CatFault, "fault:crash", node, 0, "node failed")
+	// Snapshot: nodeLost re-offers slots, which can finish stages and
+	// mutate activeStages under us.
+	stages := append([]*stageRunner(nil), e.activeStages...)
+	for _, r := range stages {
+		r.nodeLost(node)
+	}
+}
+
+// armFaultClock schedules the plan's time-triggered crashes on the
+// virtual clock, once per engine.
+func (e *Engine) armFaultClock() {
+	if e.Faults == nil || e.crashesArmed {
+		return
+	}
+	e.crashesArmed = true
+	for _, t := range e.Faults.CrashTimes() {
+		e.C.Sim.At(t, func() {
+			for _, node := range e.Faults.TimeCrashes(e.C.Sim.Now()) {
+				e.crashNode(node)
+			}
+		})
+	}
 }
 
 // barrier returns a func that invokes done on its nth call.
@@ -93,6 +149,7 @@ func (e *Engine) Run(spec JobSpec, pol Policies) (*Result, error) {
 	}
 	pol = pol.withDefaults(len(e.C.Nodes))
 	e.jobSeq++
+	e.armFaultClock()
 
 	var blocks []dfs.Block
 	if spec.Input == InputHDFS {
@@ -162,7 +219,13 @@ func (e *Engine) runIteration(spec JobSpec, pol Policies, blocks []dfs.Block, it
 	mapExec := func(id, node int, launch float64, done func(sched.TaskStats)) {
 		n := e.C.Nodes[node]
 		size := splitSize(&spec, id)
-		computeT := size / spec.ComputeRate / n.Speed(launch)
+		speed := n.Speed(launch)
+		if e.Faults != nil {
+			// Transient degradation window: the node computes slower by
+			// the plan's factor while the window is open at launch.
+			speed /= e.Faults.SlowFactor(node, launch)
+		}
+		computeT := size / spec.ComputeRate / speed
 		stats := sched.TaskStats{IntermediateBytes: size * spec.IntermediateRatio}
 		// Computation pipelines with input retrieval: the task finishes
 		// when both the compute stream and the input stream complete.
@@ -184,7 +247,7 @@ func (e *Engine) runIteration(spec JobSpec, pol Policies, blocks []dfs.Block, it
 		}
 	}
 
-	runStage(e.C, e.Tracer, fmt.Sprintf("map/%d", iter), pol.Map, tasks, mapExec, func(tl *metrics.Timeline, local, remote int) {
+	runStage(e, fmt.Sprintf("map/%d", iter), pol.Map, tasks, mapExec, func(tl *metrics.Timeline, local, remote int) {
 		it.Map = PhaseResult{Start: mapStart, End: e.C.Sim.Now(), Timeline: *tl}
 		it.LocalLaunches, it.RemoteLaunches = local, remote
 		it.PerNodeIntermediate = tl.PerNode(nodes, func(r metrics.TaskRecord) float64 { return r.Bytes })
@@ -244,7 +307,7 @@ func (e *Engine) runStoringPhase(spec JobSpec, pol Policies, iter int, it *Itera
 		}
 	}
 
-	runStage(e.C, e.Tracer, fmt.Sprintf("store/%d", iter), pol.Store, tasks, storeExec, func(tl *metrics.Timeline, _, _ int) {
+	runStage(e, fmt.Sprintf("store/%d", iter), pol.Store, tasks, storeExec, func(tl *metrics.Timeline, _, _ int) {
 		it.Store = PhaseResult{Start: storeStart, End: e.C.Sim.Now(), Timeline: *tl}
 		e.runShufflePhase(spec, pol, files, iter, it, res, next)
 	})
@@ -292,26 +355,62 @@ func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.Fil
 					inner()
 				}
 			}
-			switch spec.Store {
-			case StoreLustreLocal:
-				// The writer node serves the request from its own
-				// Lustre cache, then the data crosses the fabric.
-				both := barrier(2, fetchDone)
-				e.Lustre.ReadLocal(files[m], size, both)
-				e.C.Fabric.Transfer(m, dst, size, both)
-			case StoreLustreShared:
-				// The fetcher reads the remote-written file directly,
-				// paying DLM revocation on first touch.
-				e.Lustre.ReadRemote(dst, files[m], size, fetchDone)
-			default: // StoreLocal
-				if m == dst {
-					e.C.Nodes[m].Local.Read(size, fetchDone)
-					return
+			doFetch := func() {
+				switch spec.Store {
+				case StoreLustreLocal:
+					if !e.C.Nodes[m].Alive() {
+						// The writer's cache died with it, but the file
+						// itself is on Lustre: read it directly.
+						e.Tracer.InstantEvent(trace.CatFault, "fault:fetch-reroute", dst, size,
+							fmt.Sprintf("stage=%s mapper=%d down, reading from Lustre", stageName, m))
+						e.Lustre.ReadRemote(dst, files[m], size, fetchDone)
+						return
+					}
+					// The writer node serves the request from its own
+					// Lustre cache, then the data crosses the fabric.
+					both := barrier(2, fetchDone)
+					e.Lustre.ReadLocal(files[m], size, both)
+					e.C.Fabric.Transfer(m, dst, size, both)
+				case StoreLustreShared:
+					// The fetcher reads the remote-written file directly,
+					// paying DLM revocation on first touch.
+					e.Lustre.ReadRemote(dst, files[m], size, fetchDone)
+				default: // StoreLocal
+					if !e.C.Nodes[m].Alive() {
+						// Node-local intermediate data died with its node;
+						// the reducer pays the lineage recompute cost.
+						penalty := size / spec.ComputeRate / e.C.Nodes[dst].Speed(e.C.Sim.Now())
+						e.Tracer.InstantEvent(trace.CatFault, "fault:recompute", dst, size,
+							fmt.Sprintf("stage=%s mapper=%d down, recomputing partition", stageName, m))
+						e.C.Sim.After(penalty, fetchDone)
+						return
+					}
+					if m == dst {
+						e.C.Nodes[m].Local.Read(size, fetchDone)
+						return
+					}
+					both := barrier(2, fetchDone)
+					e.C.Nodes[m].Local.Read(size, both)
+					e.C.Fabric.Transfer(m, dst, size, both)
 				}
-				both := barrier(2, fetchDone)
-				e.C.Nodes[m].Local.Read(size, both)
-				e.C.Fabric.Transfer(m, dst, size, both)
 			}
+			// Transient fetch loss: bounded retry with doubling backoff,
+			// mirroring the real runtime's FetchShuffle.
+			attempt := 0
+			var try func()
+			try = func() {
+				if e.Faults != nil && attempt < 3 {
+					if err := e.Faults.FetchFailure(dst, e.C.Sim.Now()); err != nil {
+						attempt++
+						e.Tracer.InstantEvent(trace.CatFault, "fault:fetch-retry", dst, float64(attempt),
+							fmt.Sprintf("stage=%s task=%d mapper=%d: %v", stageName, id, m, err))
+						e.C.Sim.After(0.005*float64(int(1)<<attempt), try)
+						return
+					}
+				}
+				doFetch()
+			}
+			try()
 		}
 		pump = func() {
 			if finishedAll {
@@ -335,7 +434,7 @@ func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.Fil
 		pump()
 	}
 
-	runStage(e.C, e.Tracer, stageName, pol.Shuffle, tasks, shuffleExec, func(tl *metrics.Timeline, _, _ int) {
+	runStage(e, stageName, pol.Shuffle, tasks, shuffleExec, func(tl *metrics.Timeline, _, _ int) {
 		it.Shuffle = PhaseResult{Start: shuffleStart, End: e.C.Sim.Now(), Timeline: *tl}
 		res.Iters = append(res.Iters, *it)
 		next()

@@ -1,9 +1,21 @@
 package rdd
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"hpcmr/engine"
+)
+
+// Recovery bounds. A stage is retried after lineage repair at most
+// maxStageRecoveries times, and repair recursion (a rebuild tripping
+// over another lost shuffle upstream) is cut off at maxLineageDepth;
+// both exist only to turn a recovery bug into an error instead of an
+// infinite loop.
+const (
+	maxStageRecoveries = 8
+	maxLineageDepth    = 8
 )
 
 // fullyCached reports whether every partition of n is already resident,
@@ -46,25 +58,38 @@ func collectDeps(n *node, seen map[*shuffleDep]bool, out *[]*shuffleDep) {
 	}
 }
 
-// materialize runs the map stage of one shuffle dependency.
-func (c *Context) materialize(d *shuffleDep) error {
-	d.mu.Lock()
-	if d.materialized {
-		d.mu.Unlock()
-		return nil
+// registerDep records a materialized dependency so executor-loss
+// recovery can find it again from an engine shuffle ID.
+func (c *Context) registerDep(id int, d *shuffleDep) {
+	c.depMu.Lock()
+	defer c.depMu.Unlock()
+	if c.depsByEngineID == nil {
+		c.depsByEngineID = make(map[int]*shuffleDep)
 	}
-	d.mu.Unlock()
+	c.depsByEngineID[id] = d
+}
 
+// depByEngineID resolves an engine shuffle ID back to its dependency.
+func (c *Context) depByEngineID(id int) *shuffleDep {
+	c.depMu.Lock()
+	defer c.depMu.Unlock()
+	return c.depsByEngineID[id]
+}
+
+// shuffleMapTasks builds the map tasks that (re)materialize the given
+// map partitions of a dependency into engine shuffle id. Output is
+// written with PutFrom so the store records which executor owns each
+// partition — the provenance executor-loss invalidation keys on.
+func (c *Context) shuffleMapTasks(d *shuffleDep, id int, parts []int) []engine.TaskSpec {
 	parent := d.parent
-	id := c.rt.Shuffle().Register(parent.parts, d.reduceParts)
-	tasks := make([]engine.TaskSpec, parent.parts)
-	for p := range tasks {
+	tasks := make([]engine.TaskSpec, len(parts))
+	for i, p := range parts {
 		p := p
 		var pref []int
 		if parent.preferred != nil {
 			pref = parent.preferred(p)
 		}
-		tasks[p] = engine.TaskSpec{
+		tasks[i] = engine.TaskSpec{
 			Preferred: pref,
 			Run: func(tc *engine.TaskContext) error {
 				var vals []any
@@ -78,11 +103,30 @@ func (c *Context) materialize(d *shuffleDep) error {
 				}
 				// A coarse volume proxy feeds the load balancer.
 				tc.AddShuffleBytes(float64(count) * 48)
-				return c.rt.Shuffle().Put(id, p, buckets)
+				return c.rt.Shuffle().PutFrom(id, p, tc.Executor, buckets)
 			},
 		}
 	}
-	if err := c.rt.RunStage(fmt.Sprintf("shufflemap-%d", id), tasks); err != nil {
+	return tasks
+}
+
+// materialize runs the map stage of one shuffle dependency.
+func (c *Context) materialize(d *shuffleDep) error {
+	d.mu.Lock()
+	if d.materialized {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	id := c.rt.Shuffle().Register(d.parent.parts, d.reduceParts)
+	c.registerDep(id, d)
+	allParts := make([]int, d.parent.parts)
+	for p := range allParts {
+		allParts[p] = p
+	}
+	tasks := c.shuffleMapTasks(d, id, allParts)
+	if err := c.runStageRecovering(fmt.Sprintf("shufflemap-%d", id), tasks, 0); err != nil {
 		return err
 	}
 	d.mu.Lock()
@@ -90,6 +134,50 @@ func (c *Context) materialize(d *shuffleDep) error {
 	d.materialized = true
 	d.mu.Unlock()
 	return nil
+}
+
+// recoverMissing re-executes the missing map partitions of the shuffle
+// miss points at — the lineage-based shuffle re-execution path after an
+// executor loss. Only the invalidated partitions rerun; partitions whose
+// producing node survived, and anything cached or checkpointed upstream,
+// are not recomputed.
+func (c *Context) recoverMissing(miss *engine.MapOutputMissingError, depth int) error {
+	if depth > maxLineageDepth {
+		return fmt.Errorf("rdd: lineage recovery deeper than %d levels: %w", maxLineageDepth, miss)
+	}
+	d := c.depByEngineID(miss.Shuffle)
+	if d == nil {
+		return fmt.Errorf("rdd: no lineage for engine shuffle %d: %w", miss.Shuffle, miss)
+	}
+	missing := c.rt.Shuffle().MissingParts(miss.Shuffle)
+	if len(missing) == 0 {
+		return nil // healed meanwhile
+	}
+	c.rt.AuditRecovery("lineage-recompute", -1, float64(len(missing)),
+		fmt.Sprintf("shuffle=%d missing=%v", miss.Shuffle, missing))
+	tasks := c.shuffleMapTasks(d, miss.Shuffle, missing)
+	return c.runStageRecovering(fmt.Sprintf("shufflemap-%d-recovery", miss.Shuffle), tasks, depth)
+}
+
+// runStageRecovering runs a stage, repairing lost shuffle lineage and
+// retrying when the failure was a missing map output (executor loss).
+// Any other failure is returned as-is.
+func (c *Context) runStageRecovering(name string, tasks []engine.TaskSpec, depth int) error {
+	var err error
+	for attempt := 0; attempt <= maxStageRecoveries; attempt++ {
+		err = c.rt.RunStage(name, tasks)
+		if err == nil {
+			return nil
+		}
+		var miss *engine.MapOutputMissingError
+		if !errors.As(err, &miss) {
+			return err
+		}
+		if rerr := c.recoverMissing(miss, depth+1); rerr != nil {
+			return rerr
+		}
+	}
+	return err
 }
 
 // runJob materializes n's lineage and runs the result stage, delivering
@@ -108,6 +196,11 @@ func (n *node) runJob(name string, gather func(part int, vals []any) error) erro
 		}
 	}
 
+	// resMu orders result writes against the driver's read: duplicate
+	// attempts of one task (speculation, or a zombie attempt outliving
+	// its failed executor) may both deliver, and the late delivery must
+	// neither race the winner nor the gather below.
+	var resMu sync.Mutex
 	results := make([][]any, n.parts)
 	tasks := make([]engine.TaskSpec, n.parts)
 	for p := range tasks {
@@ -123,15 +216,21 @@ func (n *node) runJob(name string, gather func(part int, vals []any) error) erro
 				if err := n.iterate(p, tc, func(v any) { vals = append(vals, v) }); err != nil {
 					return err
 				}
+				resMu.Lock()
 				results[p] = vals
+				resMu.Unlock()
 				return nil
 			},
 		}
 	}
-	if err := c.rt.RunStage(name, tasks); err != nil {
+	if err := c.runStageRecovering(name, tasks, 0); err != nil {
 		return err
 	}
-	for p, vals := range results {
+	resMu.Lock()
+	final := make([][]any, n.parts)
+	copy(final, results)
+	resMu.Unlock()
+	for p, vals := range final {
 		if err := gather(p, vals); err != nil {
 			return err
 		}

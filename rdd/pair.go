@@ -61,7 +61,7 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K,
 	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
@@ -126,7 +126,7 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], parts int,
 	}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
@@ -169,7 +169,7 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K
 	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
@@ -208,7 +208,7 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 				}
 				return i
 			}
-			chunksA, err := c.rt.Shuffle().Fetch(depA.engineID, part)
+			chunksA, err := c.rt.FetchShuffle(tc, depA.engineID, part)
 			if err != nil {
 				return err
 			}
@@ -219,7 +219,7 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 					groups[i].Left = append(groups[i].Left, p.Value)
 				}
 			}
-			chunksB, err := c.rt.Shuffle().Fetch(depB.engineID, part)
+			chunksB, err := c.rt.FetchShuffle(tc, depB.engineID, part)
 			if err != nil {
 				return err
 			}
@@ -328,7 +328,7 @@ func SortByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], parts int, ascending bo
 	}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.Shuffle().Fetch(dep.engineID, part)
+			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}

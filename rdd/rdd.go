@@ -33,6 +33,9 @@ type Context struct {
 
 	mu     sync.Mutex // serializes jobs and ID allocation
 	nextID int
+
+	depMu          sync.Mutex // guards the recovery registry
+	depsByEngineID map[int]*shuffleDep
 }
 
 // NewContext starts a context over a fresh runtime.

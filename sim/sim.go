@@ -20,6 +20,7 @@ package sim
 import (
 	"fmt"
 
+	"hpcmr/fault"
 	"hpcmr/internal/cluster"
 	"hpcmr/internal/core"
 	"hpcmr/internal/dfs"
@@ -27,6 +28,7 @@ import (
 	"hpcmr/internal/metrics"
 	"hpcmr/internal/sched"
 	"hpcmr/internal/workload"
+	"hpcmr/trace"
 )
 
 // Device selects the node-local storage of the simulated cluster.
@@ -198,6 +200,39 @@ func New(cfg Config) (*Cluster, error) {
 
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return c.nodes }
+
+// AliveNodes returns how many simulated nodes have not been crashed by
+// an injected fault plan.
+func (c *Cluster) AliveNodes() int {
+	alive := 0
+	for _, n := range c.eng.C.Nodes {
+		if n.Alive() {
+			alive++
+		}
+	}
+	return alive
+}
+
+// InjectFaults arms a deterministic fault plan for the jobs this cluster
+// runs. Call it before Run; the same plan on a fresh identically
+// configured cluster replays the exact same virtual-time schedule. The
+// plan must validate.
+func (c *Cluster) InjectFaults(p fault.Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.eng.Faults = fault.NewInjector(p)
+	return nil
+}
+
+// Trace attaches a tracer on the cluster's virtual clock and returns it;
+// subsequent jobs record job/stage/task/fetch spans plus injected-fault
+// events into it. Tracing never perturbs simulated time.
+func (c *Cluster) Trace(o trace.Options) *trace.Tracer {
+	t := trace.New(c.eng.C.Sim.Now, o)
+	c.eng.Tracer = t
+	return t
+}
 
 // Run simulates one job to completion.
 func (c *Cluster) Run(job Job) (*Result, error) {

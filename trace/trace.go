@@ -64,6 +64,8 @@ const (
 	CatFetch
 	// CatSched marks a scheduler decision-audit event.
 	CatSched
+	// CatFault marks an injected fault or a recovery decision.
+	CatFault
 )
 
 func (c Category) String() string {
@@ -76,6 +78,8 @@ func (c Category) String() string {
 		return "fetch"
 	case CatSched:
 		return "sched"
+	case CatFault:
+		return "fault"
 	default:
 		return "job"
 	}
@@ -92,6 +96,8 @@ func parseCategory(s string) Category {
 		return CatFetch
 	case "sched":
 		return CatSched
+	case "fault":
+		return CatFault
 	default:
 		return CatJob
 	}

@@ -1,0 +1,140 @@
+// Command cigate is the single CI gatekeeper: every quantitative gate
+// the workflow enforces (coverage floor, trace-capture overhead,
+// kernel speedup margin, perf regression) runs through this one Go
+// tool, so the exact same logic runs locally and in CI — no inline
+// script heredocs to drift.
+//
+//	cigate coverage -profile /tmp/cover.out -floor 70
+//	cigate trace-overhead -input /tmp/trace_overhead.json -max 0.05
+//	cigate kernel -input /tmp/bench_kernel.json -min-speedup 3 -min-peak 4000
+//	cigate perf -baseline BENCH_perf.json -current /tmp/bench_perf.json
+//
+// Each subcommand prints the measured numbers, then exits 1 when its
+// gate fails (2 on usage/IO errors).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcmr/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "coverage":
+		coverageCmd(os.Args[2:])
+	case "trace-overhead":
+		traceOverheadCmd(os.Args[2:])
+	case "kernel":
+		kernelCmd(os.Args[2:])
+	case "perf":
+		perfCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cigate {coverage|trace-overhead|kernel|perf} [flags]")
+	os.Exit(2)
+}
+
+func coverageCmd(args []string) {
+	fs := flag.NewFlagSet("cigate coverage", flag.ExitOnError)
+	profile := fs.String("profile", "/tmp/cover.out", "go test -coverprofile output")
+	floor := fs.Float64("floor", 70, "minimum total statement coverage (percent)")
+	fs.Parse(args)
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	pct, err := perf.CoverageFromProfile(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("coverage: %.1f%% (floor %.1f%%)\n", pct, *floor)
+	gate(perf.CheckCoverage(pct, *floor))
+}
+
+func traceOverheadCmd(args []string) {
+	fs := flag.NewFlagSet("cigate trace-overhead", flag.ExitOnError)
+	input := fs.String("input", "/tmp/trace_overhead.json", "tracebench JSON report")
+	maxOv := fs.Float64("max", 0.05, "maximum allowed relative overhead")
+	fs.Parse(args)
+
+	var rep perf.TraceOverheadReport
+	loadJSON(*input, &rep)
+	fmt.Printf("trace overhead: %+.2f%% (untraced %.4fs, traced %.4fs, %d events / %d tasks)\n",
+		rep.Overhead*100, rep.UntracedSeconds, rep.TracedSeconds, rep.Events, rep.Tasks)
+	gate(perf.CheckTraceOverhead(rep, *maxOv))
+}
+
+func kernelCmd(args []string) {
+	fs := flag.NewFlagSet("cigate kernel", flag.ExitOnError)
+	input := fs.String("input", "/tmp/bench_kernel.json", "kernelbench JSON report")
+	minSpeedup := fs.Float64("min-speedup", 3, "minimum incremental/brute speedup")
+	minPeak := fs.Int("min-peak", 4000, "minimum peak concurrent flows")
+	fs.Parse(args)
+
+	var b perf.KernelBaseline
+	loadJSON(*input, &b)
+	fmt.Printf("kernel speedup: %.2fx (peak %d flows, incremental %.1f ms, brute %.1f ms)\n",
+		b.Speedup, b.PeakFlows, float64(b.IncrementalNsPerOp)/1e6, float64(b.BruteNsPerOp)/1e6)
+	gate(perf.CheckKernel(b, *minSpeedup, *minPeak))
+}
+
+func perfCmd(args []string) {
+	fs := flag.NewFlagSet("cigate perf", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_perf.json", "baseline perf report")
+	current := fs.String("current", "/tmp/bench_perf.json", "current perf report")
+	threshold := fs.Float64("threshold", 0, "median-delta that matters (default 0.10)")
+	alpha := fs.Float64("alpha", 0, "Mann-Whitney significance level (default 0.05)")
+	fs.Parse(args)
+
+	base, err := perf.LoadReport(*baseline)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cur, err := perf.LoadReport(*current)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cmp := perf.Compare(base, cur, perf.Thresholds{MedianDelta: *threshold, Alpha: *alpha})
+	fmt.Print(cmp.Table())
+	if cmp.Regressed() {
+		fmt.Fprintln(os.Stderr, "cigate: performance regression detected")
+		os.Exit(1)
+	}
+}
+
+// gate prints err and exits 1 when a gate fails.
+func gate(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cigate: GATE FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cigate: ok")
+}
+
+func loadJSON(path string, v any) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		fatal("%s: %v", path, err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cigate: "+format+"\n", args...)
+	os.Exit(2)
+}

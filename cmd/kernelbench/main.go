@@ -1,6 +1,8 @@
-// Command kernelbench measures the incremental fluid kernel against the
-// recompute-the-world oracle on the deterministic churn scenario and
-// writes the result as JSON (the committed BENCH_kernel.json baseline).
+// Command kernelbench is a thin compatibility shim over the unified
+// perf subsystem (see cmd/mrperf, which supersedes it as the general
+// entry point): it runs the two kernel/churn scenarios at full scale
+// and emits the legacy BENCH_kernel.json schema CI's kernel-speedup
+// gate (`cigate kernel`) consumes.
 //
 //	go run ./cmd/kernelbench              # print to stdout
 //	go run ./cmd/kernelbench -o BENCH_kernel.json
@@ -12,62 +14,46 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"testing"
 
 	"hpcmr/internal/simclock"
+	"hpcmr/perf"
 )
-
-// Baseline is the JSON schema of BENCH_kernel.json.
-type Baseline struct {
-	Scenario  string `json:"scenario"`
-	Resources int    `json:"resources"`
-	Flows     int    `json:"flows"`
-	CapEvents int    `json:"cap_events"`
-	PeakFlows int    `json:"peak_concurrent_flows"`
-	Completed int    `json:"completed_flows"`
-	// NsPerOp is one full scenario run (tens of thousands of events).
-	IncrementalNsPerOp int64   `json:"incremental_ns_per_op"`
-	BruteNsPerOp       int64   `json:"brute_ns_per_op"`
-	Speedup            float64 `json:"speedup"`
-	GoVersion          string  `json:"go_version"`
-	GOARCH             string  `json:"goarch"`
-}
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	reps := flag.Int("reps", 5, "measured repetitions per kernel (medians win)")
 	flag.Parse()
 
 	scale := simclock.KernelChurnScale
 	completed, peak := simclock.RunKernelChurn(false, scale)
 
-	inc := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			simclock.RunKernelChurn(false, scale)
-		}
-	})
-	bru := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			simclock.RunKernelChurn(true, scale)
-		}
-	})
+	scens, err := perf.Select("kernel/churn-incremental,kernel/churn-brute")
+	if err != nil {
+		fatal("%v", err)
+	}
+	rep, err := perf.RunScenarios(scens, perf.RunOptions{Reps: *reps, Warmup: 1}, nil)
+	if err != nil {
+		fatal("%v", err)
+	}
+	inc := rep.Scenario("kernel/churn-incremental").Stats.MedianNs
+	bru := rep.Scenario("kernel/churn-brute").Stats.MedianNs
 
-	bl := Baseline{
+	bl := perf.KernelBaseline{
 		Scenario:           "BenchmarkKernelChurn",
 		Resources:          scale.NRes,
 		Flows:              scale.NFlows,
 		CapEvents:          scale.CapEvts,
 		PeakFlows:          peak,
 		Completed:          completed,
-		IncrementalNsPerOp: inc.NsPerOp(),
-		BruteNsPerOp:       bru.NsPerOp(),
-		Speedup:            float64(bru.NsPerOp()) / float64(inc.NsPerOp()),
+		IncrementalNsPerOp: int64(inc),
+		BruteNsPerOp:       int64(bru),
+		Speedup:            bru / inc,
 		GoVersion:          runtime.Version(),
 		GOARCH:             runtime.GOARCH,
 	}
 	enc, err := json.MarshalIndent(bl, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
@@ -75,9 +61,13 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	fmt.Printf("kernel churn: incremental %.1f ms, brute %.1f ms, speedup %.2fx -> %s\n",
-		float64(bl.IncrementalNsPerOp)/1e6, float64(bl.BruteNsPerOp)/1e6, bl.Speedup, *out)
+		inc/1e6, bru/1e6, bl.Speedup, *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kernelbench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -3,6 +3,11 @@
 // (e.g. "fig7a fig14") to run a subset. -quick runs a proportionally
 // scaled-down cluster for fast smoke runs.
 //
+// mrbench reports the *modeled* numbers (virtual job times, ratios);
+// for wall-clock performance measurement and regression gating use
+// cmd/mrperf, which also runs fig7/fig13 points as end-to-end
+// scenarios.
+//
 // Usage:
 //
 //	mrbench [-quick] [-seed N] [id ...]

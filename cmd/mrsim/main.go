@@ -34,17 +34,17 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "groupby", "benchmark: groupby | grep | lr")
-		data    = flag.Float64("data", 100e9, "input size in bytes")
-		split   = flag.Float64("split", 256e6, "split size in bytes")
-		nodes   = flag.Int("nodes", 100, "worker nodes")
-		device  = flag.String("device", "ramdisk", "local device: ramdisk | ssd | none")
-		input   = flag.String("input", "generated", "input source: generated | hdfs | lustre")
-		store   = flag.String("store", "local", "intermediate store: local | lustre-local | lustre-shared | none")
-		policy  = flag.String("policy", "fifo", "map policy: fifo | locality | delay | elb")
-		cad     = flag.Bool("cad", false, "enable congestion-aware dispatching for the storing phase")
-		skew    = flag.Bool("skew", false, "enable node performance skew")
-		seed    = flag.Int64("seed", 1, "skew seed")
+		bench      = flag.String("bench", "groupby", "benchmark: groupby | grep | lr")
+		data       = flag.Float64("data", 100e9, "input size in bytes")
+		split      = flag.Float64("split", 256e6, "split size in bytes")
+		nodes      = flag.Int("nodes", 100, "worker nodes")
+		device     = flag.String("device", "ramdisk", "local device: ramdisk | ssd | none")
+		input      = flag.String("input", "generated", "input source: generated | hdfs | lustre")
+		store      = flag.String("store", "local", "intermediate store: local | lustre-local | lustre-shared | none")
+		policy     = flag.String("policy", "fifo", "map policy: fifo | locality | delay | elb")
+		cad        = flag.Bool("cad", false, "enable congestion-aware dispatching for the storing phase")
+		skew       = flag.Bool("skew", false, "enable node performance skew")
+		seed       = flag.Int64("seed", 1, "skew seed")
 		verbose    = flag.Bool("v", false, "print per-iteration dissections")
 		timeline   = flag.String("timeline", "", "write the legacy flat task timeline as JSON to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file ('-' = stdout)")

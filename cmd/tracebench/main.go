@@ -1,7 +1,8 @@
-// Command tracebench measures the wall-clock overhead of trace capture
-// on the real engine: it runs the same many-task workload with tracing
-// off and on and reports the relative difference as JSON for CI's
-// overhead gate:
+// Command tracebench is a thin compatibility shim over the unified
+// perf subsystem (see cmd/mrperf, which supersedes it as the general
+// entry point): it runs perf's shared many-short-task engine workload
+// with tracing off and on and emits the overhead JSON CI's gate
+// (`cigate trace-overhead`) consumes.
 //
 //	tracebench -tasks 512 -reps 5 -o overhead.json
 //
@@ -18,11 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"hpcmr/engine"
-	"hpcmr/rdd"
-	"hpcmr/trace"
+	"hpcmr/perf"
 )
 
 func main() {
@@ -36,18 +34,19 @@ func main() {
 	)
 	flag.Parse()
 
-	untraced, _ := run(*reps, *tasks, *executors, *cores, *workUS, false)
-	traced, events := run(*reps, *tasks, *executors, *cores, *workUS, true)
-	overhead := traced/untraced - 1
+	spec := perf.EngineWorkloadSpec{Tasks: *tasks, Executors: *executors, Cores: *cores, WorkUS: *workUS}
+	untraced, _ := best(*reps, spec)
+	spec.Traced = true
+	traced, events := best(*reps, spec)
 
-	report := map[string]interface{}{
-		"tasks":            *tasks,
-		"reps":             *reps,
-		"work_us":          *workUS,
-		"untraced_seconds": untraced,
-		"traced_seconds":   traced,
-		"overhead":         overhead,
-		"events":           events,
+	report := perf.TraceOverheadReport{
+		Tasks:           *tasks,
+		Reps:            *reps,
+		WorkUS:          *workUS,
+		UntracedSeconds: untraced,
+		TracedSeconds:   traced,
+		Overhead:        traced/untraced - 1,
+		Events:          events,
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -64,72 +63,28 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "tracebench: untraced %.4fs traced %.4fs overhead %+.2f%%\n",
-		untraced, traced, overhead*100)
+		untraced, traced, report.Overhead*100)
 }
 
-// run executes the workload reps times and returns the fastest run's
-// seconds plus the event count captured on the last traced run.
-func run(reps, tasks, executors, cores, workUS int, traced bool) (float64, int) {
-	best := 0.0
+// best runs the workload reps times and returns the fastest run's
+// seconds plus the event count captured on the last run.
+func best(reps int, spec perf.EngineWorkloadSpec) (float64, int) {
+	bestSecs := 0.0
 	events := 0
 	for i := 0; i < reps; i++ {
-		secs, n := runOnce(tasks, executors, cores, workUS, traced)
-		if i == 0 || secs < best {
-			best = secs
+		secs, n, err := perf.RunEngineWorkload(spec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if i == 0 || secs < bestSecs {
+			bestSecs = secs
 		}
 		events = n
 	}
-	return best, events
+	return bestSecs, events
 }
 
-func runOnce(tasks, executors, cores, workUS int, traced bool) (float64, int) {
-	cfg := engine.Config{Executors: executors, CoresPerExecutor: cores}
-	var tr *trace.Tracer
-	if traced {
-		tr = trace.NewWall(trace.Options{})
-		cfg.SchedAudit = trace.SchedAudit(tr)
-	}
-	ctx, err := rdd.NewContext(cfg)
-	if err != nil {
-		fatal("%v", err)
-	}
-	defer ctx.Stop()
-	if tr != nil {
-		ctx.Runtime().AddListener(trace.EngineListener(tr))
-	}
-
-	ids := make([]int, tasks)
-	for i := range ids {
-		ids[i] = i
-	}
-	start := time.Now()
-	_, err = rdd.Map(rdd.Parallelize(ctx, ids, tasks), func(i int) int {
-		return burn(workUS, i)
-	}).Collect()
-	if err != nil {
-		fatal("%v", err)
-	}
-	elapsed := time.Since(start).Seconds()
-	if tr != nil {
-		return elapsed, tr.Len()
-	}
-	return elapsed, 0
-}
-
-// burn spins for roughly us microseconds of CPU and returns a value the
-// compiler cannot discard.
-func burn(us, seed int) int {
-	deadline := time.Now().Add(time.Duration(us) * time.Microsecond)
-	x := seed
-	for time.Now().Before(deadline) {
-		for i := 0; i < 64; i++ {
-			x = x*1664525 + 1013904223
-		}
-	}
-	return x
-}
-
-func fatal(format string, args ...interface{}) {
+func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tracebench: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -37,6 +37,35 @@ var registry = []struct {
 	{"ablation-ssdfloor", AblationSSDFloor},
 }
 
+func init() {
+	if err := checkRegistry(registry); err != nil {
+		panic(err)
+	}
+}
+
+// checkRegistry rejects malformed registries: empty IDs, nil runners,
+// and duplicate names (which would make Lookup silently shadow one
+// driver with another).
+func checkRegistry(entries []struct {
+	ID  string
+	Run Runner
+}) error {
+	seen := make(map[string]bool, len(entries))
+	for _, r := range entries {
+		if r.ID == "" {
+			return fmt.Errorf("experiments: registry entry with empty ID")
+		}
+		if r.Run == nil {
+			return fmt.Errorf("experiments: %q has no runner", r.ID)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("experiments: duplicate registry ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}
+
 // IDs returns all experiment IDs in paper order.
 func IDs() []string {
 	ids := make([]string, len(registry))

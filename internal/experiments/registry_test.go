@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryIntegrity checks what the ID-list test
+// (TestRegistryComplete) doesn't: every ID resolves through Lookup to a
+// non-nil runner, and the count matches the registry.
+func TestRegistryIntegrity(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(registry) {
+		t.Fatalf("IDs() returned %d of %d entries", len(ids), len(registry))
+	}
+	for _, id := range ids {
+		run, err := Lookup(id)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", id, err)
+		}
+		if run == nil {
+			t.Errorf("Lookup(%q) returned nil runner", id)
+		}
+	}
+}
+
+func TestLookupUnknownListsValidIDs(t *testing.T) {
+	_, err := Lookup("fig99")
+	if err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	if !strings.Contains(err.Error(), "fig7a") {
+		t.Errorf("error does not list valid IDs: %v", err)
+	}
+}
+
+type entrySlice = []struct {
+	ID  string
+	Run Runner
+}
+
+func TestCheckRegistryRejectsDuplicates(t *testing.T) {
+	noop := func(Options) *Experiment { return &Experiment{} }
+	if err := checkRegistry(entrySlice{{"a", noop}, {"b", noop}, {"a", noop}}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := checkRegistry(entrySlice{{"", noop}}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := checkRegistry(entrySlice{{"a", nil}}); err == nil {
+		t.Error("nil runner accepted")
+	}
+	if err := checkRegistry(entrySlice{{"a", noop}, {"b", noop}}); err != nil {
+		t.Errorf("valid registry rejected: %v", err)
+	}
+	// The live registry must satisfy its own check.
+	if err := checkRegistry(registry); err != nil {
+		t.Errorf("live registry invalid: %v", err)
+	}
+}

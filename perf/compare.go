@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Thresholds tune the regression verdict. A scenario regresses only
+// when BOTH trip: the median moved by more than MedianDelta AND the
+// Mann-Whitney U test calls the shift significant at Alpha. The
+// two-condition form is deliberate: the U test alone flags tiny but
+// consistent shifts (noise on a quiet machine), the delta alone flags
+// single-outlier medians on small sample counts.
+type Thresholds struct {
+	// MedianDelta is the relative median change that matters
+	// (default 0.10 = 10%).
+	MedianDelta float64
+	// Alpha is the significance level for the U test (default 0.05).
+	Alpha float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.MedianDelta <= 0 {
+		t.MedianDelta = 0.10
+	}
+	if t.Alpha <= 0 {
+		t.Alpha = 0.05
+	}
+	return t
+}
+
+// Verdict statuses.
+const (
+	StatusOK          = "ok"          // no significant change
+	StatusRegression  = "regression"  // significantly slower — gate fails
+	StatusImprovement = "improvement" // significantly faster
+	StatusNew         = "new"         // in current only — informational
+	StatusMissing     = "missing"     // in baseline only — gate fails
+)
+
+// Verdict is one scenario's comparison outcome.
+type Verdict struct {
+	Name         string  `json:"name"`
+	Status       string  `json:"status"`
+	BaseMedianNs float64 `json:"base_median_ns,omitempty"`
+	CurMedianNs  float64 `json:"cur_median_ns,omitempty"`
+	// Delta is cur/base - 1 (+0.25 = 25% slower).
+	Delta float64 `json:"delta"`
+	// P is the two-sided Mann-Whitney p-value over the raw samples.
+	P float64 `json:"p"`
+}
+
+// Comparison is the full baseline-vs-current judgement.
+type Comparison struct {
+	Thresholds Thresholds `json:"thresholds"`
+	Verdicts   []Verdict  `json:"verdicts"`
+}
+
+// Compare judges current against base scenario by scenario. Scenarios
+// present only in the baseline are verdicted "missing" (a vanished
+// benchmark must fail the gate, or coverage silently erodes); scenarios
+// present only in current are "new".
+func Compare(base, cur *Report, th Thresholds) *Comparison {
+	th = th.withDefaults()
+	c := &Comparison{Thresholds: th}
+	for _, b := range base.Scenarios {
+		v := Verdict{Name: b.Name, BaseMedianNs: b.Stats.MedianNs, P: 1}
+		if s := cur.Scenario(b.Name); s == nil {
+			v.Status = StatusMissing
+		} else {
+			v.CurMedianNs = s.Stats.MedianNs
+			v.Delta = s.Stats.MedianNs/b.Stats.MedianNs - 1
+			v.P = MannWhitneyU(b.SamplesNs, s.SamplesNs)
+			significant := v.P < th.Alpha
+			switch {
+			case significant && v.Delta > th.MedianDelta:
+				v.Status = StatusRegression
+			case significant && v.Delta < -th.MedianDelta:
+				v.Status = StatusImprovement
+			default:
+				v.Status = StatusOK
+			}
+		}
+		c.Verdicts = append(c.Verdicts, v)
+	}
+	for _, s := range cur.Scenarios {
+		if base.Scenario(s.Name) == nil {
+			c.Verdicts = append(c.Verdicts, Verdict{
+				Name: s.Name, Status: StatusNew, CurMedianNs: s.Stats.MedianNs, P: 1,
+			})
+		}
+	}
+	return c
+}
+
+// Regressed reports whether any verdict fails the gate (regression or
+// missing scenario).
+func (c *Comparison) Regressed() bool {
+	for _, v := range c.Verdicts {
+		if v.Status == StatusRegression || v.Status == StatusMissing {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders the verdicts as an aligned text table.
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %12s %12s %8s %8s  %s\n",
+		"scenario", "base med", "cur med", "delta", "p", "verdict")
+	for _, v := range c.Verdicts {
+		mark := ""
+		if v.Status == StatusRegression || v.Status == StatusMissing {
+			mark = "  <-- FAIL"
+		}
+		fmt.Fprintf(&b, "%-36s %12s %12s %7.1f%% %8.4f  %s%s\n",
+			v.Name, fmtNs(v.BaseMedianNs), fmtNs(v.CurMedianNs), v.Delta*100, v.P, v.Status, mark)
+	}
+	fmt.Fprintf(&b, "(gate: median delta > %.0f%% AND Mann-Whitney p < %.2g; missing scenarios fail)\n",
+		c.Thresholds.MedianDelta*100, c.Thresholds.Alpha)
+	return b.String()
+}
+
+// fmtNs renders nanoseconds human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case ns == 0:
+		return "-"
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

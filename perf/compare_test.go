@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// report builds a minimal valid report from name -> samples.
+func report(t *testing.T, scens map[string][]float64) *Report {
+	t.Helper()
+	r := &Report{SchemaVersion: SchemaVersion, Env: Fingerprint(), Options: RunOptions{Reps: 5, Warmup: 1}}
+	// Deterministic order irrelevant for compare; map range is fine.
+	for name, samples := range scens {
+		r.Scenarios = append(r.Scenarios, ScenarioResult{
+			Name: name, Reps: len(samples), Warmup: 1,
+			SamplesNs: samples, Stats: Summarize(samples),
+		})
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture report invalid: %v", err)
+	}
+	return r
+}
+
+func scaled(samples []float64, f float64) []float64 {
+	out := make([]float64, len(samples))
+	for i, v := range samples {
+		out[i] = v * f
+	}
+	return out
+}
+
+var baseSamples = []float64{100e6, 101e6, 99e6, 102e6, 98e6}
+
+func TestCompareIdenticalRunsPass(t *testing.T) {
+	base := report(t, map[string][]float64{"a": baseSamples, "b": scaled(baseSamples, 2)})
+	cur := report(t, map[string][]float64{"a": baseSamples, "b": scaled(baseSamples, 2)})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("identical runs regressed:\n%s", cmp.Table())
+	}
+	for _, v := range cmp.Verdicts {
+		if v.Status != StatusOK {
+			t.Errorf("%s status = %s, want ok", v.Name, v.Status)
+		}
+	}
+}
+
+func TestCompareInjectedSlowdownFails(t *testing.T) {
+	// The acceptance scenario: a 2x slowdown on one scenario must trip
+	// the gate (median delta +100% and Mann-Whitney significant).
+	base := report(t, map[string][]float64{"a": baseSamples, "b": scaled(baseSamples, 3)})
+	cur := report(t, map[string][]float64{"a": scaled(baseSamples, 2), "b": scaled(baseSamples, 3)})
+	cmp := Compare(base, cur, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatalf("2x slowdown not flagged:\n%s", cmp.Table())
+	}
+	var va, vb *Verdict
+	for i := range cmp.Verdicts {
+		switch cmp.Verdicts[i].Name {
+		case "a":
+			va = &cmp.Verdicts[i]
+		case "b":
+			vb = &cmp.Verdicts[i]
+		}
+	}
+	if va.Status != StatusRegression {
+		t.Errorf("a status = %s, want regression", va.Status)
+	}
+	if va.Delta < 0.9 || va.Delta > 1.1 {
+		t.Errorf("a delta = %g, want ~1.0", va.Delta)
+	}
+	if vb.Status != StatusOK {
+		t.Errorf("unchanged b status = %s, want ok", vb.Status)
+	}
+	if !strings.Contains(cmp.Table(), "FAIL") {
+		t.Errorf("table does not mark the failure:\n%s", cmp.Table())
+	}
+}
+
+func TestCompareImprovementIsNotRegression(t *testing.T) {
+	base := report(t, map[string][]float64{"a": baseSamples})
+	cur := report(t, map[string][]float64{"a": scaled(baseSamples, 0.5)})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("improvement regressed:\n%s", cmp.Table())
+	}
+	if cmp.Verdicts[0].Status != StatusImprovement {
+		t.Errorf("status = %s, want improvement", cmp.Verdicts[0].Status)
+	}
+}
+
+func TestCompareMissingScenarioFailsNewPasses(t *testing.T) {
+	base := report(t, map[string][]float64{"a": baseSamples, "gone": baseSamples})
+	cur := report(t, map[string][]float64{"a": baseSamples, "fresh": baseSamples})
+	cmp := Compare(base, cur, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatal("vanished baseline scenario did not fail the gate")
+	}
+	status := map[string]string{}
+	for _, v := range cmp.Verdicts {
+		status[v.Name] = v.Status
+	}
+	if status["gone"] != StatusMissing {
+		t.Errorf("gone status = %s, want missing", status["gone"])
+	}
+	if status["fresh"] != StatusNew {
+		t.Errorf("fresh status = %s, want new", status["fresh"])
+	}
+}
+
+func TestCompareThresholdSuppressesSmallShift(t *testing.T) {
+	// A consistent but tiny (2%) shift is significant by rank test yet
+	// below the median-delta threshold: must stay ok.
+	base := report(t, map[string][]float64{"a": {100e6, 100.1e6, 100.2e6, 100.3e6, 100.4e6}})
+	cur := report(t, map[string][]float64{"a": {102e6, 102.1e6, 102.2e6, 102.3e6, 102.4e6}})
+	cmp := Compare(base, cur, Thresholds{MedianDelta: 0.10, Alpha: 0.05})
+	if cmp.Regressed() {
+		t.Fatalf("2%% shift tripped the 10%% gate:\n%s", cmp.Table())
+	}
+}
+
+// TestCommittedBaselineGate exercises the committed BENCH_perf.json
+// exactly the way cigate does: compared against itself it passes, and
+// with an injected 2x slowdown on every scenario it fails.
+func TestCommittedBaselineGate(t *testing.T) {
+	base, err := LoadReport("../BENCH_perf.json")
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if len(base.Scenarios) < 6 {
+		t.Fatalf("committed baseline has %d scenarios, want >= 6", len(base.Scenarios))
+	}
+	if cmp := Compare(base, base, Thresholds{}); cmp.Regressed() {
+		t.Fatalf("baseline vs itself regressed:\n%s", cmp.Table())
+	}
+
+	slow := *base
+	slow.Scenarios = append([]ScenarioResult(nil), base.Scenarios...)
+	for i := range slow.Scenarios {
+		s := &slow.Scenarios[i]
+		s.SamplesNs = scaled(s.SamplesNs, 2)
+		s.Stats = Summarize(s.SamplesNs)
+	}
+	cmp := Compare(base, &slow, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatalf("2x slowdown over the committed baseline passed:\n%s", cmp.Table())
+	}
+	for _, v := range cmp.Verdicts {
+		if v.Status != StatusRegression {
+			t.Errorf("%s status = %s, want regression", v.Name, v.Status)
+		}
+	}
+}

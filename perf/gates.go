@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file holds the CI gate logic that cmd/cigate fronts, so the
+// exact same checks run locally (`go run ./cmd/cigate ...`) and in the
+// workflow — replacing the inline python heredocs the workflow used to
+// carry.
+
+// CoverageFromProfile computes total statement coverage (percent) from
+// a `go test -coverprofile` file, the same number `go tool cover
+// -func`'s "total:" row reports: covered statements / statements.
+//
+// A multi-package test run writes one profile entry per block *per
+// test binary*, so the same block can appear several times with
+// different hit counts; blocks are deduplicated by position and count
+// as covered when any entry hit them (how `go tool cover` merges).
+func CoverageFromProfile(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type block struct {
+		stmts   int
+		covered bool
+	}
+	blocks := map[string]block{}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if !strings.HasPrefix(line, "mode:") {
+				return 0, fmt.Errorf("cover profile: missing mode header, got %q", line)
+			}
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, fmt.Errorf("cover profile: malformed line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, fmt.Errorf("cover profile: bad statement count in %q: %w", line, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return 0, fmt.Errorf("cover profile: bad hit count in %q: %w", line, err)
+		}
+		b := blocks[fields[0]]
+		b.stmts = stmts
+		b.covered = b.covered || count > 0
+		blocks[fields[0]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	total, covered := 0, 0
+	for _, b := range blocks {
+		total += b.stmts
+		if b.covered {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("cover profile: no statements")
+	}
+	return 100 * float64(covered) / float64(total), nil
+}
+
+// CheckCoverage fails when pct is below floor.
+func CheckCoverage(pct, floor float64) error {
+	if pct < floor {
+		return fmt.Errorf("coverage %.1f%% below the %.1f%% floor", pct, floor)
+	}
+	return nil
+}
+
+// TraceOverheadReport is the JSON contract of cmd/tracebench, consumed
+// by the trace-overhead gate.
+type TraceOverheadReport struct {
+	Tasks           int     `json:"tasks"`
+	Reps            int     `json:"reps"`
+	WorkUS          int     `json:"work_us"`
+	UntracedSeconds float64 `json:"untraced_seconds"`
+	TracedSeconds   float64 `json:"traced_seconds"`
+	Overhead        float64 `json:"overhead"`
+	Events          int     `json:"events"`
+}
+
+// CheckTraceOverhead enforces the capture-overhead budget: tracing may
+// not slow the engine by more than maxOverhead, and the traced run must
+// have captured at least one event per task.
+func CheckTraceOverhead(r TraceOverheadReport, maxOverhead float64) error {
+	if r.Overhead > maxOverhead {
+		return fmt.Errorf("trace capture overhead %+.2f%% exceeds the %.0f%% budget",
+			r.Overhead*100, maxOverhead*100)
+	}
+	if r.Events < r.Tasks {
+		return fmt.Errorf("traced run captured %d events for %d tasks", r.Events, r.Tasks)
+	}
+	return nil
+}
+
+// KernelBaseline is the JSON contract of cmd/kernelbench
+// (BENCH_kernel.json), consumed by the kernel-speedup gate.
+type KernelBaseline struct {
+	Scenario  string `json:"scenario"`
+	Resources int    `json:"resources"`
+	Flows     int    `json:"flows"`
+	CapEvents int    `json:"cap_events"`
+	PeakFlows int    `json:"peak_concurrent_flows"`
+	Completed int    `json:"completed_flows"`
+	// NsPerOp is one full scenario run (tens of thousands of events).
+	IncrementalNsPerOp int64   `json:"incremental_ns_per_op"`
+	BruteNsPerOp       int64   `json:"brute_ns_per_op"`
+	Speedup            float64 `json:"speedup"`
+	GoVersion          string  `json:"go_version"`
+	GOARCH             string  `json:"goarch"`
+}
+
+// CheckKernel enforces the incremental kernel's margin over the
+// brute-force oracle and the scenario's concurrency floor.
+func CheckKernel(b KernelBaseline, minSpeedup float64, minPeak int) error {
+	if b.Speedup < minSpeedup {
+		return fmt.Errorf("incremental kernel speedup %.2fx below the %.1fx margin", b.Speedup, minSpeedup)
+	}
+	if b.PeakFlows < minPeak {
+		return fmt.Errorf("churn scenario peaked at %d concurrent flows, want >= %d", b.PeakFlows, minPeak)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCoverageFromProfile(t *testing.T) {
+	// 3 of 4 statements covered -> 75%.
+	profile := `mode: set
+a/a.go:1.1,2.2 2 1
+a/a.go:3.1,4.2 1 0
+b/b.go:1.1,9.9 1 5
+`
+	pct, err := CoverageFromProfile(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pct-75) > 1e-9 {
+		t.Errorf("coverage = %g, want 75", pct)
+	}
+}
+
+func TestCoverageFromProfileDeduplicatesBlocks(t *testing.T) {
+	// A multi-package run repeats blocks once per test binary; a block
+	// hit by any binary counts covered, and statements count once.
+	// Here: 2-stmt block covered by the second entry only, 1-stmt block
+	// never covered -> 2/3.
+	profile := `mode: set
+a/a.go:1.1,2.2 2 0
+a/a.go:1.1,2.2 2 1
+a/a.go:3.1,4.2 1 0
+a/a.go:3.1,4.2 1 0
+`
+	pct, err := CoverageFromProfile(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pct-100.0*2/3) > 1e-9 {
+		t.Errorf("coverage = %g, want %g", pct, 100.0*2/3)
+	}
+}
+
+func TestCoverageFromProfileErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header": "a/a.go:1.1,2.2 2 1\n",
+		"malformed line": "mode: set\nnot a profile line\n",
+		"empty":          "mode: set\n",
+		"bad count":      "mode: set\na/a.go:1.1,2.2 x 1\n",
+	}
+	for name, profile := range cases {
+		if _, err := CoverageFromProfile(strings.NewReader(profile)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckCoverage(t *testing.T) {
+	if err := CheckCoverage(75, 70); err != nil {
+		t.Errorf("75%% failed a 70%% floor: %v", err)
+	}
+	if err := CheckCoverage(69.9, 70); err == nil {
+		t.Error("69.9% passed a 70% floor")
+	}
+}
+
+func TestCheckTraceOverhead(t *testing.T) {
+	ok := TraceOverheadReport{Tasks: 512, Events: 1030, Overhead: 0.03}
+	if err := CheckTraceOverhead(ok, 0.05); err != nil {
+		t.Errorf("within budget failed: %v", err)
+	}
+	slow := TraceOverheadReport{Tasks: 512, Events: 1030, Overhead: 0.09}
+	if err := CheckTraceOverhead(slow, 0.05); err == nil {
+		t.Error("9% overhead passed a 5% budget")
+	}
+	lossy := TraceOverheadReport{Tasks: 512, Events: 100, Overhead: 0.01}
+	if err := CheckTraceOverhead(lossy, 0.05); err == nil {
+		t.Error("fewer events than tasks passed")
+	}
+}
+
+func TestCheckKernel(t *testing.T) {
+	ok := KernelBaseline{Speedup: 5.5, PeakFlows: 4700}
+	if err := CheckKernel(ok, 3, 4000); err != nil {
+		t.Errorf("healthy kernel failed: %v", err)
+	}
+	if err := CheckKernel(KernelBaseline{Speedup: 2.9, PeakFlows: 4700}, 3, 4000); err == nil {
+		t.Error("lost speedup margin passed")
+	}
+	if err := CheckKernel(KernelBaseline{Speedup: 5.5, PeakFlows: 100}, 3, 4000); err == nil {
+		t.Error("under-scaled churn passed")
+	}
+}

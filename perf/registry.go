@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// scenarios is the global registry in registration order.
+var scenarios []Scenario
+
+// Register adds a scenario; empty names, nil bodies and duplicates are
+// rejected.
+func Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("perf: scenario with empty name")
+	}
+	if s.Run == nil {
+		return fmt.Errorf("perf: scenario %q has no body", s.Name)
+	}
+	for _, have := range scenarios {
+		if have.Name == s.Name {
+			return fmt.Errorf("perf: duplicate scenario %q", s.Name)
+		}
+	}
+	scenarios = append(scenarios, s)
+	return nil
+}
+
+// mustRegister is the init-time form of Register.
+func mustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Scenarios returns every registered scenario in registration order.
+func Scenarios() []Scenario {
+	return append([]Scenario(nil), scenarios...)
+}
+
+// Select resolves a comma-separated pattern list against the registry.
+// Each item is "all", an exact name, or a path.Match glob over names
+// ("kernel/*", "experiments/*"). An item matching nothing is an error;
+// duplicates collapse, order follows the registry.
+func Select(pattern string) ([]Scenario, error) {
+	items := strings.Split(pattern, ",")
+	want := make(map[string]bool)
+	for _, item := range items {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if item == "all" {
+			for _, s := range scenarios {
+				want[s.Name] = true
+			}
+			continue
+		}
+		matched := false
+		for _, s := range scenarios {
+			ok, err := path.Match(item, s.Name)
+			if err != nil {
+				return nil, fmt.Errorf("perf: bad pattern %q: %w", item, err)
+			}
+			if ok || s.Name == item {
+				want[s.Name] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("perf: pattern %q matches no scenario (have: %s)",
+				item, strings.Join(names(), ", "))
+		}
+	}
+	var out []Scenario
+	for _, s := range scenarios {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("perf: empty selection %q", pattern)
+	}
+	return out, nil
+}
+
+func names() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.Name
+	}
+	return out
+}

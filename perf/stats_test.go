@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.MedianNs != 3 {
+		t.Errorf("median = %g, want 3", s.MedianNs)
+	}
+	if s.MinNs != 1 || s.MaxNs != 5 {
+		t.Errorf("min/max = %g/%g, want 1/5", s.MinNs, s.MaxNs)
+	}
+	if s.MeanNs != 3 {
+		t.Errorf("mean = %g, want 3", s.MeanNs)
+	}
+	if s.P25Ns != 2 || s.P75Ns != 4 {
+		t.Errorf("p25/p75 = %g/%g, want 2/4", s.P25Ns, s.P75Ns)
+	}
+	if s.IQRNs != 2 {
+		t.Errorf("iqr = %g, want 2", s.IQRNs)
+	}
+}
+
+func TestSummarizeEvenCountInterpolates(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.MedianNs != 2.5 {
+		t.Errorf("median = %g, want 2.5", s.MedianNs)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.MedianNs != 0 {
+		t.Errorf("empty median = %g, want 0", s.MedianNs)
+	}
+	s := Summarize([]float64{7})
+	if s.MedianNs != 7 || s.MinNs != 7 || s.MaxNs != 7 || s.IQRNs != 0 {
+		t.Errorf("single-sample stats = %+v", s)
+	}
+}
+
+func TestMannWhitneySeparatedGroups(t *testing.T) {
+	// Two fully separated 5-sample groups: the canonical regression
+	// signature compare must flag at alpha 0.05.
+	a := []float64{10, 11, 12, 13, 14}
+	b := []float64{20, 21, 22, 23, 24}
+	p := MannWhitneyU(a, b)
+	if p >= 0.05 {
+		t.Errorf("separated groups p = %g, want < 0.05", p)
+	}
+	// Symmetric in argument order.
+	if p2 := MannWhitneyU(b, a); math.Abs(p-p2) > 1e-12 {
+		t.Errorf("p not symmetric: %g vs %g", p, p2)
+	}
+}
+
+func TestMannWhitneyOverlappingGroups(t *testing.T) {
+	a := []float64{10, 12, 14, 16, 18}
+	b := []float64{11, 13, 15, 17, 19}
+	if p := MannWhitneyU(a, b); p < 0.3 {
+		t.Errorf("interleaved groups p = %g, want large", p)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if p := MannWhitneyU(nil, []float64{1}); p != 1 {
+		t.Errorf("empty side p = %g, want 1", p)
+	}
+	// All samples tied: zero variance must not divide by zero.
+	if p := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all-tied p = %g, want 1", p)
+	}
+}
+
+func TestMannWhitneyTiesAcrossGroups(t *testing.T) {
+	// Ties spanning both groups exercise the midrank + tie-correction
+	// path; the result must stay a valid probability.
+	a := []float64{1, 2, 2, 3, 3}
+	b := []float64{2, 3, 3, 4, 4}
+	p := MannWhitneyU(a, b)
+	if p <= 0 || p > 1 {
+		t.Errorf("tied-groups p = %g, want in (0, 1]", p)
+	}
+}

@@ -108,6 +108,12 @@ type Config struct {
 	// FetchRetryBackoffSeconds is FetchShuffle's initial retry backoff;
 	// it doubles per attempt (default 0.002 s).
 	FetchRetryBackoffSeconds float64
+	// RunQueueDepth bounds each executor's persistent-worker run queue
+	// (default 2 x CoresPerExecutor). Dispatch never blocks on a full
+	// queue; overflow attempts fall back to a dedicated goroutine, so
+	// the depth only tunes how much goroutine-spawn traffic the workers
+	// absorb under concurrent stages.
+	RunQueueDepth int
 }
 
 // withDefaults fills zero fields.
@@ -144,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FetchRetryBackoffSeconds <= 0 {
 		c.FetchRetryBackoffSeconds = 0.002
+	}
+	if c.RunQueueDepth <= 0 {
+		c.RunQueueDepth = 2 * c.CoresPerExecutor
 	}
 	return c
 }

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDispatchStressConcurrentStagesAndFailures drives the worker-pool
+// dispatcher hard under -race: several goroutines run stages
+// back-to-back (oversubscribing the bounded run queues so the overflow
+// goroutine fallback is exercised too) while executors are failed
+// concurrently. Every stage must still succeed on the survivors, and
+// every task of every stage must have completed at least once.
+func TestDispatchStressConcurrentStagesAndFailures(t *testing.T) {
+	const (
+		drivers        = 4
+		stagesPerDrive = 5
+		tasksPerStage  = 30
+	)
+	rt, err := New(Config{Executors: 6, CoresPerExecutor: 2, MaxTaskFailures: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, drivers*stagesPerDrive)
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < stagesPerDrive; s++ {
+				var done [tasksPerStage]int64
+				tasks := make([]TaskSpec, tasksPerStage)
+				for i := range tasks {
+					i := i
+					tasks[i] = TaskSpec{Run: func(tc *TaskContext) error {
+						time.Sleep(50 * time.Microsecond)
+						atomic.AddInt64(&done[i], 1)
+						return nil
+					}}
+				}
+				if err := rt.RunStage("stress", tasks); err != nil {
+					errs <- err
+					return
+				}
+				for i := range done {
+					if atomic.LoadInt64(&done[i]) == 0 {
+						t.Errorf("stage reported success with task %d never completed", i)
+					}
+				}
+			}
+		}()
+	}
+
+	// Fail two executors while the stages churn; four survive.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		rt.FailExecutor(5)
+		time.Sleep(2 * time.Millisecond)
+		rt.FailExecutor(4)
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("stage failed: %v", err)
+	}
+	if alive := rt.AliveExecutors(); alive != 4 {
+		t.Errorf("alive executors = %d, want 4", alive)
+	}
+}
+
+// TestDispatchStressFailDuringRunningTasks kills an executor while its
+// tasks are mid-body, so in-flight attempts return on a dead executor
+// (the loss path, not the retry path) and their tasks requeue on the
+// survivors without burning the retry budget.
+func TestDispatchStressFailDuringRunningTasks(t *testing.T) {
+	rt, err := New(Config{Executors: 3, CoresPerExecutor: 2, MaxTaskFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const tasksN = 24
+	var started, completed int64
+	release := make(chan struct{})
+	var once sync.Once
+	tasks := make([]TaskSpec, tasksN)
+	for i := range tasks {
+		tasks[i] = TaskSpec{Run: func(tc *TaskContext) error {
+			if atomic.AddInt64(&started, 1) == 6 {
+				// Enough attempts are in flight: fail an executor from
+				// inside a task body while siblings run.
+				once.Do(func() {
+					go func() {
+						rt.FailExecutor(2)
+						close(release)
+					}()
+				})
+			}
+			<-release
+			atomic.AddInt64(&completed, 1)
+			return nil
+		}}
+	}
+	if err := rt.RunStage("fail-mid-run", tasks); err != nil {
+		t.Fatalf("stage failed despite survivors (MaxTaskFailures=1, so a loss counted as a failure would abort): %v", err)
+	}
+	if got := atomic.LoadInt64(&completed); got < tasksN {
+		t.Errorf("completed = %d, want >= %d", got, tasksN)
+	}
+}

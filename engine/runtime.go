@@ -33,7 +33,9 @@ type TaskSpec struct {
 	// Preferred lists executor IDs holding the task's input, if any.
 	Preferred []int
 	// Run executes the task body; returning an error (or panicking)
-	// triggers a retry up to MaxTaskFailures attempts.
+	// triggers a retry up to MaxTaskFailures attempts. The TaskContext
+	// is only valid for the duration of the call — executor workers
+	// reuse it across attempts.
 	Run func(tc *TaskContext) error
 }
 
@@ -44,6 +46,7 @@ type Runtime struct {
 	metrics   *Metrics
 	listeners listeners
 	start     time.Time
+	workers   []*execWorkers
 
 	mu      sync.Mutex
 	stageID int
@@ -62,14 +65,19 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	return &Runtime{
+	rt := &Runtime{
 		cfg:     cfg,
 		shuffle: NewShuffleStore(),
 		metrics: &Metrics{},
 		start:   time.Now(),
 		stages:  make(map[*stageState]struct{}),
 		dead:    make([]bool, cfg.Executors),
-	}, nil
+		workers: make([]*execWorkers, cfg.Executors),
+	}
+	for e := range rt.workers {
+		rt.workers[e] = newExecWorkers(e, cfg.CoresPerExecutor, cfg.RunQueueDepth)
+	}
+	return rt, nil
 }
 
 // Config returns the effective configuration.
@@ -81,11 +89,20 @@ func (rt *Runtime) Shuffle() *ShuffleStore { return rt.shuffle }
 // Metrics returns accumulated execution metrics.
 func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
 
-// Close marks the runtime closed; subsequent RunStage calls fail.
+// Close marks the runtime closed and winds the executor workers down;
+// subsequent RunStage calls fail. Attempts already queued still drain
+// before the workers exit.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	already := rt.closed
 	rt.closed = true
+	rt.mu.Unlock()
+	if already {
+		return
+	}
+	for _, w := range rt.workers {
+		w.stop()
+	}
 }
 
 // elapsed is the fault-injection clock: seconds since the runtime was
@@ -138,6 +155,10 @@ func (rt *Runtime) AuditRecovery(kind string, node int, value float64, detail st
 // is invalidated so lineage re-execution rebuilds it. The invalidated
 // partitions are returned. Failing an already-dead executor is a no-op.
 //
+// The executor's persistent workers stay alive and keep draining their
+// queue: each queued attempt hits the dead-executor abort in runTask,
+// which requeues the task on the survivors.
+//
 // Fault plans call this through the injector's crash triggers; tests
 // and operators may call it directly.
 func (rt *Runtime) FailExecutor(exec int) []LostPart {
@@ -177,13 +198,10 @@ func (rt *Runtime) checkTimeCrashes() {
 	}
 }
 
-// FetchShuffle fetches one reduce partition with bounded
-// retry-and-backoff against transient fetch faults. Missing map output
-// (executor loss or stage-ordering bugs) is returned immediately as a
-// MapOutputMissingError — that is not transient; the caller must
-// re-execute the missing partitions through lineage. Task bodies should
-// use this instead of Shuffle().Fetch.
-func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][]any, error) {
+// fetchRetrying runs fetch with bounded retry-and-backoff against
+// transient injected fetch faults. Missing map output is returned
+// immediately (not transient; lineage must repair it).
+func (rt *Runtime) fetchRetrying(tc *TaskContext, shuffleID, reducePart int, fetch func() error) error {
 	backoff := time.Duration(rt.cfg.FetchRetryBackoffSeconds * float64(time.Second))
 	var last error
 	for attempt := 0; attempt < rt.cfg.MaxFetchRetries; attempt++ {
@@ -199,18 +217,157 @@ func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][
 				continue
 			}
 		}
-		out, err := rt.shuffle.Fetch(shuffleID, reducePart)
+		err := fetch()
 		if err == nil {
-			return out, nil
+			return nil
 		}
 		var miss *MapOutputMissingError
 		if errors.As(err, &miss) {
-			return nil, err
+			return err
 		}
 		last = err
 	}
-	return nil, fmt.Errorf("engine: shuffle %d fetch for reduce partition %d failed after %d attempts: %w",
+	return fmt.Errorf("engine: shuffle %d fetch for reduce partition %d failed after %d attempts: %w",
 		shuffleID, reducePart, rt.cfg.MaxFetchRetries, last)
+}
+
+// FetchShuffle fetches one reduce partition in the record-boxed [][]any
+// compatibility form, with bounded retry-and-backoff against transient
+// fetch faults. Missing map output (executor loss or stage-ordering
+// bugs) is returned immediately as a MapOutputMissingError — that is
+// not transient; the caller must re-execute the missing partitions
+// through lineage. Task bodies should use this (or FetchShuffleChunks)
+// instead of Shuffle().Fetch.
+func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][]any, error) {
+	var out [][]any
+	err := rt.fetchRetrying(tc, shuffleID, reducePart, func() error {
+		var ferr error
+		out, ferr = rt.shuffle.Fetch(shuffleID, reducePart)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FetchShuffleChunks fetches one reduce partition as stored chunks (one
+// boxed typed slice per map partition, nil where empty) with the same
+// retry and missing-output semantics as FetchShuffle. This is the hot
+// path the rdd reduce side uses: no flattening, no per-record boxing.
+func (rt *Runtime) FetchShuffleChunks(tc *TaskContext, shuffleID, reducePart int) ([]any, error) {
+	var out []any
+	err := rt.fetchRetrying(tc, shuffleID, reducePart, func() error {
+		var ferr error
+		out, ferr = rt.shuffle.FetchChunks(shuffleID, reducePart)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---- persistent executor workers ----
+
+// launchReq is one dispatched attempt on its way to an executor worker.
+type launchReq struct {
+	st *stageState
+	d  sched.Decision
+}
+
+// execWorkers is one executor's persistent worker pool: CoresPerExecutor
+// goroutines fed by a bounded ring queue. The pool replaces
+// goroutine-per-attempt dispatch so a stage of many short tasks does not
+// pay a goroutine spawn per 40-100µs task body.
+type execWorkers struct {
+	exec int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []launchReq
+	head, n int
+	stopped bool
+}
+
+// newExecWorkers starts the worker goroutines for one executor.
+func newExecWorkers(exec, cores, depth int) *execWorkers {
+	w := &execWorkers{exec: exec, ring: make([]launchReq, depth)}
+	w.cond = sync.NewCond(&w.mu)
+	for c := 0; c < cores; c++ {
+		go w.run()
+	}
+	return w
+}
+
+// enqueue offers one attempt to the queue; false means the queue is
+// full (concurrent stages oversubscribing the executor) or the pool has
+// stopped — the caller must fall back to a dedicated goroutine so
+// dispatch never blocks and no launch is lost.
+func (w *execWorkers) enqueue(r launchReq) bool {
+	w.mu.Lock()
+	if w.stopped || w.n == len(w.ring) {
+		w.mu.Unlock()
+		return false
+	}
+	w.ring[(w.head+w.n)%len(w.ring)] = r
+	w.n++
+	w.cond.Signal()
+	w.mu.Unlock()
+	return true
+}
+
+// dequeue blocks for the next attempt; false means the pool stopped and
+// the queue has fully drained.
+func (w *execWorkers) dequeue() (launchReq, bool) {
+	w.mu.Lock()
+	for w.n == 0 && !w.stopped {
+		w.cond.Wait()
+	}
+	if w.n == 0 {
+		w.mu.Unlock()
+		return launchReq{}, false
+	}
+	r := w.ring[w.head]
+	w.ring[w.head] = launchReq{}
+	w.head = (w.head + 1) % len(w.ring)
+	w.n--
+	w.mu.Unlock()
+	return r, true
+}
+
+// stop lets the workers exit once the queue drains; enqueue rejects
+// from now on (callers degrade to direct goroutines).
+func (w *execWorkers) stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// run is one worker goroutine: pop, execute, repeat. The TaskContext is
+// reused across the worker's attempts — one allocation per worker
+// lifetime instead of one per task (task bodies must not retain it past
+// Run, see TaskSpec).
+func (w *execWorkers) run() {
+	tc := new(TaskContext)
+	for {
+		r, ok := w.dequeue()
+		if !ok {
+			return
+		}
+		r.st.runTask(r.d, w.exec, tc)
+	}
+}
+
+// launchAttempt hands one attempt to exec's persistent workers,
+// degrading to a dedicated goroutine when the bounded queue is
+// saturated or the pool has stopped. Safe to call with stage locks
+// held: it never blocks.
+func (rt *Runtime) launchAttempt(st *stageState, d sched.Decision, exec int) {
+	if !rt.workers[exec].enqueue(launchReq{st: st, d: d}) {
+		go st.runTask(d, exec, nil)
+	}
 }
 
 // stageState tracks one stage execution under the dispatcher lock.
@@ -224,6 +381,12 @@ func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][
 // left; the stage exits when all tasks are done, or on failure once
 // in-flight attempts drain (inFlight) — even if tasks were never
 // launched.
+//
+// Dispatch is completion-driven: a finishing attempt re-offers the
+// freed slot inline (dispatchLocked) and the driver goroutine in
+// RunStage is only woken on terminal transitions (wakeDriverLocked), so
+// routine completions do not bounce through a cond-broadcast and a
+// driver wakeup per task.
 type stageState struct {
 	rt       *Runtime
 	stageID  int
@@ -247,9 +410,12 @@ type stageState struct {
 	start         time.Time
 
 	// speculation state
-	done          []bool
-	running       map[int]time.Time // task -> earliest live launch
-	speculated    map[int]bool
+	done       []bool
+	running    map[int]time.Time // task -> earliest live launch
+	speculated map[int]bool
+	// completedDurs is kept sorted (binary-search insertion on every
+	// completion) so each speculation scan reads the median directly
+	// instead of copying and sorting the slice.
 	completedDurs []float64
 	speculations  int
 }
@@ -296,6 +462,13 @@ func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 		speculated: make(map[int]bool),
 	}
 	st.cond = sync.NewCond(&st.mu)
+	// One contiguous backing array serves every task's first (and almost
+	// always only) live-attempt record; speculation's second attempt is
+	// the rare case that grows past cap 1 and reallocates.
+	liveBack := make([]int, len(tasks))
+	for i := range st.liveOn {
+		st.liveOn[i] = liveBack[i : i : i+1]
+	}
 	for i := range st.idle {
 		if !rt.ExecutorDead(i) {
 			st.idle[i] = rt.cfg.CoresPerExecutor
@@ -445,7 +618,7 @@ func (st *stageState) dispatchLocked() {
 			st.queued[id] = false
 			st.idle[best]--
 			st.inFlight++
-			go st.runTask(sched.Decision{TaskID: id, Local: false}, best)
+			st.rt.launchAttempt(st, sched.Decision{TaskID: id, Local: false}, best)
 		}
 		for exec := range st.idle {
 			for st.idle[exec] > 0 {
@@ -463,7 +636,7 @@ func (st *stageState) dispatchLocked() {
 				}
 				st.idle[exec]--
 				st.inFlight++
-				go st.runTask(d, exec)
+				st.rt.launchAttempt(st, d, exec)
 			}
 		}
 		// Wedge breaker: nothing is running, nothing is queued, no
@@ -488,6 +661,16 @@ func (st *stageState) dispatchLocked() {
 			}
 		}
 		return
+	}
+}
+
+// wakeDriverLocked wakes the RunStage driver only when its wait
+// condition can actually flip: all tasks settled, or a failed stage's
+// in-flight attempts fully drained. Routine completions skip the wakeup
+// (the completing worker has already re-dispatched inline).
+func (st *stageState) wakeDriverLocked() {
+	if st.remaining == 0 || (st.failed != nil && st.inFlight == 0) {
+		st.cond.Broadcast()
 	}
 }
 
@@ -537,16 +720,24 @@ func (st *stageState) scheduleFaultCheck() {
 	})
 }
 
+// recordCompletedDurLocked inserts one completed duration keeping
+// completedDurs sorted, so speculation scans are O(1) median reads
+// instead of re-copying and re-sorting per scan.
+func (st *stageState) recordCompletedDurLocked(dur float64) {
+	i := sort.SearchFloat64s(st.completedDurs, dur)
+	st.completedDurs = append(st.completedDurs, 0)
+	copy(st.completedDurs[i+1:], st.completedDurs[i:])
+	st.completedDurs[i] = dur
+}
+
 // speculateLocked queues second copies of straggling tasks. Called with
-// st.mu held.
+// st.mu held; completedDurs is already sorted.
 func (st *stageState) speculateLocked() {
 	total := len(st.tasks)
 	if float64(len(st.completedDurs)) < st.rt.cfg.SpeculationQuantile*float64(total) {
 		return
 	}
-	durs := append([]float64(nil), st.completedDurs...)
-	sort.Float64s(durs)
-	threshold := durs[len(durs)/2] * st.rt.cfg.SpeculationMultiplier
+	threshold := st.completedDurs[len(st.completedDurs)/2] * st.rt.cfg.SpeculationMultiplier
 	now := time.Now()
 	for id, since := range st.running {
 		if st.done[id] || st.speculated[id] || st.queued[id] {
@@ -563,8 +754,10 @@ func (st *stageState) speculateLocked() {
 	}
 }
 
-// runTask executes one attempt on an executor goroutine.
-func (st *stageState) runTask(d sched.Decision, exec int) {
+// runTask executes one attempt on an executor worker (or an overflow
+// goroutine when the worker queue was saturated). scratch, when non-nil,
+// is the worker's reusable TaskContext; nil allocates a fresh one.
+func (st *stageState) runTask(d sched.Decision, exec int, scratch *TaskContext) {
 	if d.Delay > 0 {
 		time.Sleep(time.Duration(d.Delay * float64(time.Second)))
 	}
@@ -583,7 +776,10 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 		if !st.done[d.TaskID] && st.failed == nil {
 			st.requeueLocked(d.TaskID)
 		}
-		st.cond.Broadcast()
+		if st.failed == nil {
+			st.dispatchLocked()
+		}
+		st.wakeDriverLocked()
 		st.mu.Unlock()
 		return
 	}
@@ -603,7 +799,11 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 		}
 	}
 
-	tc := &TaskContext{
+	tc := scratch
+	if tc == nil {
+		tc = new(TaskContext)
+	}
+	*tc = TaskContext{
 		StageID:  st.stageID,
 		TaskID:   d.TaskID,
 		Attempt:  attempt,
@@ -657,7 +857,10 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 	}
 	if st.done[d.TaskID] {
 		// A sibling attempt already settled this task; discard.
-		st.cond.Broadcast()
+		if st.failed == nil {
+			st.dispatchLocked()
+		}
+		st.wakeDriverLocked()
 		st.mu.Unlock()
 		return
 	}
@@ -667,7 +870,10 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 		rt.auditFault("task-lost", exec, float64(d.TaskID),
 			fmt.Sprintf("stage=%s attempt=%d discarded", st.name, attempt))
 		st.requeueLocked(d.TaskID)
-		st.cond.Broadcast()
+		if st.failed == nil {
+			st.dispatchLocked()
+		}
+		st.wakeDriverLocked()
 		st.mu.Unlock()
 		return
 	}
@@ -681,7 +887,7 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 	case success:
 		st.done[d.TaskID] = true
 		delete(st.running, d.TaskID)
-		st.completedDurs = append(st.completedDurs, dur)
+		st.recordCompletedDurLocked(dur)
 		st.remaining--
 	default:
 		st.failures[d.TaskID]++
@@ -699,7 +905,10 @@ func (st *stageState) runTask(d sched.Decision, exec int) {
 			st.requeueLocked(d.TaskID)
 		}
 	}
-	st.cond.Broadcast()
+	if st.failed == nil {
+		st.dispatchLocked()
+	}
+	st.wakeDriverLocked()
 	st.mu.Unlock()
 
 	// Count-based crash triggers fire on successful completions, after

@@ -2,13 +2,21 @@ package engine
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 )
 
 // ShuffleStore is the in-memory shuffle service connecting map-side
-// output buckets to reduce-side fetches. Values are boxed; the rdd
-// layer restores their static types.
+// output buckets to reduce-side fetches.
+//
+// The native unit of storage is the *chunk*: one bucket's records as a
+// typed slice (e.g. []Pair[K,V]) boxed in a single interface value. Map
+// tasks publish one chunk per reduce partition with PutChunksFrom, and
+// FetchChunks hands the stored chunks back without flattening or
+// copying — the rdd layer restores their static types. The older
+// record-boxed [][]any API (Put/PutFrom/Fetch) remains as a thin
+// compatibility wrapper: a []any bucket is itself a valid chunk.
 //
 // Locking is sharded: the store-level RWMutex only guards the shuffle
 // registry and the lost-executor set (Register/Drop/InvalidateOwner
@@ -29,12 +37,13 @@ type ShuffleStore struct {
 	lost     map[int]bool // executors whose writes are no longer accepted
 }
 
-// shuffleData holds one shuffle's buckets: [mapPartition][reducePartition].
+// shuffleData holds one shuffle's chunks:
+// [mapPartition][reducePartition] -> boxed chunk (nil when empty).
 type shuffleData struct {
 	mu          sync.RWMutex
 	mapParts    int
 	reduceParts int
-	buckets     [][][]any
+	chunks      [][]any
 	written     []bool
 	owners      []int // producing executor per map partition; -1 unknown
 }
@@ -56,9 +65,9 @@ func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	buckets := make([][][]any, mapParts)
-	for i := range buckets {
-		buckets[i] = make([][]any, reduceParts)
+	chunks := make([][]any, mapParts)
+	for i := range chunks {
+		chunks[i] = make([]any, reduceParts)
 	}
 	owners := make([]int, mapParts)
 	for i := range owners {
@@ -67,7 +76,7 @@ func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
 	s.shuffles[s.nextID] = &shuffleData{
 		mapParts:    mapParts,
 		reduceParts: reduceParts,
-		buckets:     buckets,
+		chunks:      chunks,
 		written:     make([]bool, mapParts),
 		owners:      owners,
 	}
@@ -84,18 +93,13 @@ func (s *ShuffleStore) get(shuffleID, owner int) (*shuffleData, bool, bool) {
 	return d, ok, banned
 }
 
-// Put stores a map partition's output buckets with no provenance (the
-// partition survives executor failures). Re-puts (task retries)
-// overwrite the previous attempt.
-func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
-	return s.PutFrom(shuffleID, mapPart, -1, buckets)
-}
-
-// PutFrom stores a map partition's output buckets produced by owner.
-// Writes from an executor that has been invalidated are rejected with
-// ErrExecutorLost, so a zombie attempt racing its executor's loss
-// cannot resurrect dropped output.
-func (s *ShuffleStore) PutFrom(shuffleID, mapPart, owner int, buckets [][]any) error {
+// PutChunksFrom stores a map partition's output produced by owner: one
+// chunk per reduce partition (nil for empty buckets), each a typed
+// slice boxed once. Writes from an executor that has been invalidated
+// are rejected with ErrExecutorLost, so a zombie attempt racing its
+// executor's loss cannot resurrect dropped output. Re-puts (task
+// retries) overwrite the previous attempt.
+func (s *ShuffleStore) PutChunksFrom(shuffleID, mapPart, owner int, chunks []any) error {
 	d, ok, banned := s.get(shuffleID, owner)
 	if !ok {
 		return fmt.Errorf("engine: unknown shuffle %d", shuffleID)
@@ -106,21 +110,42 @@ func (s *ShuffleStore) PutFrom(shuffleID, mapPart, owner int, buckets [][]any) e
 	if mapPart < 0 || mapPart >= d.mapParts {
 		return fmt.Errorf("engine: shuffle %d: map partition %d out of range", shuffleID, mapPart)
 	}
-	if len(buckets) != d.reduceParts {
-		return fmt.Errorf("engine: shuffle %d: got %d buckets, want %d", shuffleID, len(buckets), d.reduceParts)
+	if len(chunks) != d.reduceParts {
+		return fmt.Errorf("engine: shuffle %d: got %d buckets, want %d", shuffleID, len(chunks), d.reduceParts)
 	}
 	d.mu.Lock()
-	d.buckets[mapPart] = buckets
+	d.chunks[mapPart] = chunks
 	d.written[mapPart] = true
 	d.owners[mapPart] = owner
 	d.mu.Unlock()
 	return nil
 }
 
-// Fetch returns all map-side buckets for one reduce partition. A map
-// partition that has not been written — never materialized, or
+// Put stores a map partition's output buckets with no provenance (the
+// partition survives executor failures). Record-boxed compatibility
+// form of PutChunksFrom.
+func (s *ShuffleStore) Put(shuffleID, mapPart int, buckets [][]any) error {
+	return s.PutFrom(shuffleID, mapPart, -1, buckets)
+}
+
+// PutFrom stores a map partition's record-boxed output buckets produced
+// by owner. Each []any bucket is stored as one chunk.
+func (s *ShuffleStore) PutFrom(shuffleID, mapPart, owner int, buckets [][]any) error {
+	chunks := make([]any, len(buckets))
+	for i, b := range buckets {
+		if len(b) > 0 {
+			chunks[i] = b
+		}
+	}
+	return s.PutChunksFrom(shuffleID, mapPart, owner, chunks)
+}
+
+// FetchChunks returns one chunk per map partition for the given reduce
+// partition, exactly as stored — no flattening, no copy. Entries are
+// nil where a map partition produced nothing for this reduce partition.
+// A map partition that has not been written — never materialized, or
 // invalidated by executor loss — yields a MapOutputMissingError.
-func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
+func (s *ShuffleStore) FetchChunks(shuffleID, reducePart int) ([]any, error) {
 	d, ok, _ := s.get(shuffleID, -1)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown shuffle %d", shuffleID)
@@ -130,14 +155,46 @@ func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([][]any, d.mapParts)
+	out := make([]any, d.mapParts)
 	for m := 0; m < d.mapParts; m++ {
 		if !d.written[m] {
 			return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: m}
 		}
-		out[m] = d.buckets[m][reducePart]
+		out[m] = d.chunks[m][reducePart]
 	}
 	return out, nil
+}
+
+// Fetch returns all map-side buckets for one reduce partition in the
+// record-boxed [][]any compatibility form. Chunks written through the
+// typed path are flattened (reflectively) into boxed records; chunks
+// written through Put/PutFrom are returned as stored.
+func (s *ShuffleStore) Fetch(shuffleID, reducePart int) ([][]any, error) {
+	chunks, err := s.FetchChunks(shuffleID, reducePart)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]any, len(chunks))
+	for m, ch := range chunks {
+		out[m] = boxChunk(ch)
+	}
+	return out, nil
+}
+
+// boxChunk converts one stored chunk to boxed records.
+func boxChunk(ch any) []any {
+	switch c := ch.(type) {
+	case nil:
+		return nil
+	case []any:
+		return c
+	}
+	v := reflect.ValueOf(ch)
+	out := make([]any, v.Len())
+	for i := range out {
+		out[i] = v.Index(i).Interface()
+	}
+	return out
 }
 
 // InvalidateOwner drops every map partition the given executor
@@ -167,7 +224,7 @@ func (s *ShuffleStore) InvalidateOwner(owner int) []LostPart {
 		for m := 0; m < d.mapParts; m++ {
 			if d.written[m] && d.owners[m] == owner {
 				d.written[m] = false
-				d.buckets[m] = make([][]any, d.reduceParts)
+				d.chunks[m] = make([]any, d.reduceParts)
 				d.owners[m] = -1
 				lost = append(lost, LostPart{Shuffle: id, MapPart: m})
 			}

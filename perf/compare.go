@@ -17,6 +17,12 @@ type Thresholds struct {
 	MedianDelta float64
 	// Alpha is the significance level for the U test (default 0.05).
 	Alpha float64
+	// AllocDelta is the relative median allocation-count change that
+	// matters (default 0.10 = 10%). The alloc judgement uses the same
+	// two-condition rule (delta threshold AND Mann-Whitney at Alpha)
+	// over the raw per-repetition malloc counts, and is skipped when
+	// either report predates SamplesAllocs.
+	AllocDelta float64
 }
 
 func (t Thresholds) withDefaults() Thresholds {
@@ -25,6 +31,9 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.Alpha <= 0 {
 		t.Alpha = 0.05
+	}
+	if t.AllocDelta <= 0 {
+		t.AllocDelta = 0.10
 	}
 	return t
 }
@@ -48,6 +57,13 @@ type Verdict struct {
 	Delta float64 `json:"delta"`
 	// P is the two-sided Mann-Whitney p-value over the raw samples.
 	P float64 `json:"p"`
+	// Allocation dimension: zero-valued (AllocP == 1, AllocJudged
+	// false) when either side lacks SamplesAllocs.
+	AllocJudged bool    `json:"alloc_judged,omitempty"`
+	BaseAllocs  float64 `json:"base_allocs,omitempty"`
+	CurAllocs   float64 `json:"cur_allocs,omitempty"`
+	AllocDelta  float64 `json:"alloc_delta,omitempty"`
+	AllocP      float64 `json:"alloc_p,omitempty"`
 }
 
 // Comparison is the full baseline-vs-current judgement.
@@ -64,18 +80,33 @@ func Compare(base, cur *Report, th Thresholds) *Comparison {
 	th = th.withDefaults()
 	c := &Comparison{Thresholds: th}
 	for _, b := range base.Scenarios {
-		v := Verdict{Name: b.Name, BaseMedianNs: b.Stats.MedianNs, P: 1}
+		v := Verdict{Name: b.Name, BaseMedianNs: b.Stats.MedianNs, P: 1, AllocP: 1}
 		if s := cur.Scenario(b.Name); s == nil {
 			v.Status = StatusMissing
 		} else {
 			v.CurMedianNs = s.Stats.MedianNs
 			v.Delta = s.Stats.MedianNs/b.Stats.MedianNs - 1
 			v.P = MannWhitneyU(b.SamplesNs, s.SamplesNs)
-			significant := v.P < th.Alpha
+			wallSig := v.P < th.Alpha
+			wallReg := wallSig && v.Delta > th.MedianDelta
+			wallImp := wallSig && v.Delta < -th.MedianDelta
+			var allocReg, allocImp bool
+			if len(b.SamplesAllocs) > 0 && len(s.SamplesAllocs) > 0 {
+				v.AllocJudged = true
+				v.BaseAllocs = median(b.SamplesAllocs)
+				v.CurAllocs = median(s.SamplesAllocs)
+				if v.BaseAllocs > 0 {
+					v.AllocDelta = v.CurAllocs/v.BaseAllocs - 1
+				}
+				v.AllocP = MannWhitneyU(b.SamplesAllocs, s.SamplesAllocs)
+				allocSig := v.AllocP < th.Alpha
+				allocReg = allocSig && v.AllocDelta > th.AllocDelta
+				allocImp = allocSig && v.AllocDelta < -th.AllocDelta
+			}
 			switch {
-			case significant && v.Delta > th.MedianDelta:
+			case wallReg || allocReg:
 				v.Status = StatusRegression
-			case significant && v.Delta < -th.MedianDelta:
+			case wallImp || allocImp:
 				v.Status = StatusImprovement
 			default:
 				v.Status = StatusOK
@@ -86,7 +117,7 @@ func Compare(base, cur *Report, th Thresholds) *Comparison {
 	for _, s := range cur.Scenarios {
 		if base.Scenario(s.Name) == nil {
 			c.Verdicts = append(c.Verdicts, Verdict{
-				Name: s.Name, Status: StatusNew, CurMedianNs: s.Stats.MedianNs, P: 1,
+				Name: s.Name, Status: StatusNew, CurMedianNs: s.Stats.MedianNs, P: 1, AllocP: 1,
 			})
 		}
 	}
@@ -107,18 +138,24 @@ func (c *Comparison) Regressed() bool {
 // Table renders the verdicts as an aligned text table.
 func (c *Comparison) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-36s %12s %12s %8s %8s  %s\n",
-		"scenario", "base med", "cur med", "delta", "p", "verdict")
+	fmt.Fprintf(&b, "%-36s %12s %12s %8s %8s %9s %8s  %s\n",
+		"scenario", "base med", "cur med", "delta", "p", "allocs", "alloc p", "verdict")
 	for _, v := range c.Verdicts {
 		mark := ""
 		if v.Status == StatusRegression || v.Status == StatusMissing {
 			mark = "  <-- FAIL"
 		}
-		fmt.Fprintf(&b, "%-36s %12s %12s %7.1f%% %8.4f  %s%s\n",
-			v.Name, fmtNs(v.BaseMedianNs), fmtNs(v.CurMedianNs), v.Delta*100, v.P, v.Status, mark)
+		allocs, allocP := "-", "-"
+		if v.AllocJudged {
+			allocs = fmt.Sprintf("%+.1f%%", v.AllocDelta*100)
+			allocP = fmt.Sprintf("%.4f", v.AllocP)
+		}
+		fmt.Fprintf(&b, "%-36s %12s %12s %7.1f%% %8.4f %9s %8s  %s%s\n",
+			v.Name, fmtNs(v.BaseMedianNs), fmtNs(v.CurMedianNs), v.Delta*100, v.P,
+			allocs, allocP, v.Status, mark)
 	}
-	fmt.Fprintf(&b, "(gate: median delta > %.0f%% AND Mann-Whitney p < %.2g; missing scenarios fail)\n",
-		c.Thresholds.MedianDelta*100, c.Thresholds.Alpha)
+	fmt.Fprintf(&b, "(gate: wall median delta > %.0f%% or alloc median delta > %.0f%%, each AND Mann-Whitney p < %.2g; missing scenarios fail)\n",
+		c.Thresholds.MedianDelta*100, c.Thresholds.AllocDelta*100, c.Thresholds.Alpha)
 	return b.String()
 }
 

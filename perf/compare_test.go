@@ -120,6 +120,111 @@ func TestCompareThresholdSuppressesSmallShift(t *testing.T) {
 	}
 }
 
+// reportWithAllocs builds a report whose scenarios carry alloc samples
+// alongside wall samples.
+func reportWithAllocs(t *testing.T, scens map[string][2][]float64) *Report {
+	t.Helper()
+	r := &Report{SchemaVersion: SchemaVersion, Env: Fingerprint(), Options: RunOptions{Reps: 5, Warmup: 1}}
+	for name, s := range scens {
+		r.Scenarios = append(r.Scenarios, ScenarioResult{
+			Name: name, Reps: len(s[0]), Warmup: 1,
+			SamplesNs: s[0], SamplesAllocs: s[1],
+			Stats: Summarize(s[0]), AllocsPerOp: median(s[1]),
+		})
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture report invalid: %v", err)
+	}
+	return r
+}
+
+var baseAllocs = []float64{1000, 1010, 990, 1020, 980}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	// Wall time unchanged, allocations doubled: the alloc dimension
+	// alone must trip the gate.
+	base := reportWithAllocs(t, map[string][2][]float64{"a": {baseSamples, baseAllocs}})
+	cur := reportWithAllocs(t, map[string][2][]float64{"a": {baseSamples, scaled(baseAllocs, 2)}})
+	cmp := Compare(base, cur, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatalf("2x allocation growth not flagged:\n%s", cmp.Table())
+	}
+	v := cmp.Verdicts[0]
+	if v.Status != StatusRegression {
+		t.Errorf("status = %s, want regression", v.Status)
+	}
+	if !v.AllocJudged {
+		t.Error("alloc dimension not judged despite samples on both sides")
+	}
+	if v.AllocDelta < 0.9 || v.AllocDelta > 1.1 {
+		t.Errorf("alloc delta = %g, want ~1.0", v.AllocDelta)
+	}
+}
+
+func TestCompareAllocImprovementReported(t *testing.T) {
+	base := reportWithAllocs(t, map[string][2][]float64{"a": {baseSamples, scaled(baseAllocs, 4)}})
+	cur := reportWithAllocs(t, map[string][2][]float64{"a": {baseSamples, baseAllocs}})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("alloc improvement regressed:\n%s", cmp.Table())
+	}
+	if cmp.Verdicts[0].Status != StatusImprovement {
+		t.Errorf("status = %s, want improvement", cmp.Verdicts[0].Status)
+	}
+}
+
+func TestCompareAllocSkippedWithoutSamples(t *testing.T) {
+	// A baseline written before SamplesAllocs existed must still compare
+	// cleanly: the alloc judgement is skipped, not failed — otherwise the
+	// first PR to land the gate could never compare against the pre-gate
+	// committed baseline.
+	base := report(t, map[string][]float64{"a": baseSamples})
+	cur := reportWithAllocs(t, map[string][2][]float64{"a": {baseSamples, scaled(baseAllocs, 10)}})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("alloc-less baseline tripped the alloc gate:\n%s", cmp.Table())
+	}
+	if v := cmp.Verdicts[0]; v.AllocJudged {
+		t.Error("alloc dimension judged without baseline samples")
+	}
+}
+
+// TestCommittedAllocGate mirrors TestCommittedBaselineGate for the
+// allocation dimension: the committed BENCH_perf.json must carry alloc
+// samples, pass against itself, and fail against an injected 2x
+// allocation inflation with wall times untouched.
+func TestCommittedAllocGate(t *testing.T) {
+	base, err := LoadReport("../BENCH_perf.json")
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	for _, s := range base.Scenarios {
+		if len(s.SamplesAllocs) == 0 {
+			t.Fatalf("committed baseline scenario %q lacks samples_allocs", s.Name)
+		}
+	}
+	if cmp := Compare(base, base, Thresholds{}); cmp.Regressed() {
+		t.Fatalf("baseline vs itself regressed:\n%s", cmp.Table())
+	}
+
+	bloated := *base
+	bloated.Scenarios = append([]ScenarioResult(nil), base.Scenarios...)
+	for i := range bloated.Scenarios {
+		s := &bloated.Scenarios[i]
+		s.SamplesAllocs = scaled(s.SamplesAllocs, 2)
+		s.AllocsPerOp = median(s.SamplesAllocs)
+	}
+	cmp := Compare(base, &bloated, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatalf("2x allocation inflation over the committed baseline passed:\n%s", cmp.Table())
+	}
+	for _, v := range cmp.Verdicts {
+		if v.Status != StatusRegression {
+			t.Errorf("%s status = %s, want regression", v.Name, v.Status)
+		}
+	}
+}
+
 // TestCommittedBaselineGate exercises the committed BENCH_perf.json
 // exactly the way cigate does: compared against itself it passes, and
 // with an injected 2x slowdown on every scenario it fails.

@@ -108,7 +108,7 @@ func RunScenarios(scens []Scenario, o RunOptions, logf func(format string, args 
 			}
 			r := &results[i]
 			r.SamplesNs = append(r.SamplesNs, ns)
-			r.allocSamples = append(r.allocSamples, allocs)
+			r.SamplesAllocs = append(r.SamplesAllocs, allocs)
 			r.Extra = extra
 			say("rep %d/%d %-34s %10.2f ms", rep+1, o.Reps, s.Name, ns/1e6)
 		}
@@ -116,7 +116,7 @@ func RunScenarios(scens []Scenario, o RunOptions, logf func(format string, args 
 	for i := range results {
 		r := &results[i]
 		r.Stats = Summarize(r.SamplesNs)
-		r.AllocsPerOp = median(r.allocSamples)
+		r.AllocsPerOp = median(r.SamplesAllocs)
 	}
 	return &Report{
 		SchemaVersion: SchemaVersion,

@@ -28,12 +28,15 @@ type ScenarioResult struct {
 	Warmup int    `json:"warmup"`
 	// SamplesNs keeps the raw per-repetition wall times so compare can
 	// rank-test them, not just eyeball medians.
-	SamplesNs   []float64 `json:"samples_ns"`
-	Stats       Stats     `json:"stats"`
-	AllocsPerOp float64   `json:"allocs_per_op"`
-	Extra       Extras    `json:"extra,omitempty"`
-
-	allocSamples []float64
+	SamplesNs []float64 `json:"samples_ns"`
+	// SamplesAllocs keeps the raw per-repetition mallocs so compare can
+	// gate allocation-count regressions the same way it gates wall time.
+	// Absent from reports written before the allocation gate existed;
+	// compare skips the alloc judgement when either side lacks them.
+	SamplesAllocs []float64 `json:"samples_allocs,omitempty"`
+	Stats         Stats     `json:"stats"`
+	AllocsPerOp   float64   `json:"allocs_per_op"`
+	Extra         Extras    `json:"extra,omitempty"`
 }
 
 // Validate checks the report's internal consistency.
@@ -62,6 +65,15 @@ func (r *Report) Validate() error {
 		for _, v := range s.SamplesNs {
 			if v <= 0 {
 				return fmt.Errorf("perf: scenario %q has non-positive sample %g", s.Name, v)
+			}
+		}
+		if len(s.SamplesAllocs) != 0 && len(s.SamplesAllocs) != len(s.SamplesNs) {
+			return fmt.Errorf("perf: scenario %q has %d alloc samples for %d wall samples",
+				s.Name, len(s.SamplesAllocs), len(s.SamplesNs))
+		}
+		for _, v := range s.SamplesAllocs {
+			if v < 0 {
+				return fmt.Errorf("perf: scenario %q has negative alloc sample %g", s.Name, v)
 			}
 		}
 	}

@@ -12,9 +12,9 @@ var ErrEmpty = errors.New("rdd: empty collection")
 // Collect returns all elements, concatenated in partition order.
 func (r *RDD[T]) Collect() ([]T, error) {
 	var out []T
-	err := r.n.runJob("collect", func(_ int, vals []any) error {
-		for _, v := range vals {
-			out = append(out, v.(T))
+	err := r.n.runJob("collect", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			out = append(out, asChunk[T](ch)...)
 		}
 		return nil
 	})
@@ -24,8 +24,8 @@ func (r *RDD[T]) Collect() ([]T, error) {
 // Count returns the number of elements.
 func (r *RDD[T]) Count() (int64, error) {
 	var n int64
-	err := r.n.runJob("count", func(_ int, vals []any) error {
-		n += int64(len(vals))
+	err := r.n.runJob("count", func(_ int, chunks []any) error {
+		n += int64(chunkRecords[T](chunks))
 		return nil
 	})
 	return n, err
@@ -35,14 +35,16 @@ func (r *RDD[T]) Count() (int64, error) {
 func (r *RDD[T]) Reduce(f func(T, T) T) (T, error) {
 	var acc T
 	have := false
-	err := r.n.runJob("reduce", func(_ int, vals []any) error {
-		for _, v := range vals {
-			if !have {
-				acc = v.(T)
-				have = true
-				continue
+	err := r.n.runJob("reduce", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, v := range asChunk[T](ch) {
+				if !have {
+					acc = v
+					have = true
+					continue
+				}
+				acc = f(acc, v)
 			}
-			acc = f(acc, v.(T))
 		}
 		return nil
 	})
@@ -58,9 +60,11 @@ func (r *RDD[T]) Reduce(f func(T, T) T) (T, error) {
 // Fold combines all elements starting from zero.
 func (r *RDD[T]) Fold(zero T, f func(T, T) T) (T, error) {
 	acc := zero
-	err := r.n.runJob("fold", func(_ int, vals []any) error {
-		for _, v := range vals {
-			acc = f(acc, v.(T))
+	err := r.n.runJob("fold", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, v := range asChunk[T](ch) {
+				acc = f(acc, v)
+			}
 		}
 		return nil
 	})
@@ -70,9 +74,11 @@ func (r *RDD[T]) Fold(zero T, f func(T, T) T) (T, error) {
 // Aggregate folds elements into an accumulator of a different type.
 func Aggregate[T, U any](r *RDD[T], zero U, seq func(U, T) U) (U, error) {
 	acc := zero
-	err := r.n.runJob("aggregate", func(_ int, vals []any) error {
-		for _, v := range vals {
-			acc = seq(acc, v.(T))
+	err := r.n.runJob("aggregate", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, v := range asChunk[T](ch) {
+				acc = seq(acc, v)
+			}
 		}
 		return nil
 	})
@@ -87,12 +93,14 @@ func (r *RDD[T]) Take(n int) ([]T, error) {
 		return nil, nil
 	}
 	out := make([]T, 0, n)
-	err := r.n.runJob("take", func(_ int, vals []any) error {
-		for _, v := range vals {
-			if len(out) >= n {
-				return nil
+	err := r.n.runJob("take", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, v := range asChunk[T](ch) {
+				if len(out) >= n {
+					return nil
+				}
+				out = append(out, v)
 			}
-			out = append(out, v.(T))
 		}
 		return nil
 	})
@@ -123,9 +131,11 @@ func (r *RDD[T]) Foreach(f func(T)) error {
 // CountByValue returns how many times each element occurs.
 func CountByValue[T comparable](r *RDD[T]) (map[T]int64, error) {
 	out := make(map[T]int64)
-	err := r.n.runJob("countByValue", func(_ int, vals []any) error {
-		for _, v := range vals {
-			out[v.(T)]++
+	err := r.n.runJob("countByValue", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, v := range asChunk[T](ch) {
+				out[v]++
+			}
 		}
 		return nil
 	})
@@ -135,9 +145,11 @@ func CountByValue[T comparable](r *RDD[T]) (map[T]int64, error) {
 // CountByKey returns the number of pairs per key.
 func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
 	out := make(map[K]int64)
-	err := r.n.runJob("countByKey", func(_ int, vals []any) error {
-		for _, v := range vals {
-			out[v.(Pair[K, V]).Key]++
+	err := r.n.runJob("countByKey", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, p := range asChunk[Pair[K, V]](ch) {
+				out[p.Key]++
+			}
 		}
 		return nil
 	})
@@ -148,10 +160,11 @@ func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
 // duplicate keys).
 func CollectAsMap[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]V, error) {
 	out := make(map[K]V)
-	err := r.n.runJob("collectAsMap", func(_ int, vals []any) error {
-		for _, v := range vals {
-			p := v.(Pair[K, V])
-			out[p.Key] = p.Value
+	err := r.n.runJob("collectAsMap", func(_ int, chunks []any) error {
+		for _, ch := range chunks {
+			for _, p := range asChunk[Pair[K, V]](ch) {
+				out[p.Key] = p.Value
+			}
 		}
 		return nil
 	})

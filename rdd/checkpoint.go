@@ -19,11 +19,8 @@ func SaveAsGob[T any](r *RDD[T], dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("rdd: SaveAsGob: %w", err)
 	}
-	return r.n.runJob("saveAsGob", func(part int, vals []any) error {
-		typed := make([]T, len(vals))
-		for i, v := range vals {
-			typed[i] = v.(T)
-		}
+	return r.n.runJob("saveAsGob", func(part int, chunks []any) error {
+		typed := flattenChunks[T](chunks)
 		name := filepath.Join(dir, fmt.Sprintf("part-%05d", part))
 		f, err := os.Create(name)
 		if err != nil {
@@ -67,8 +64,9 @@ func LoadGob[T any](c *Context, dir string) (*RDD[T], error) {
 			if err := gob.NewDecoder(f).Decode(&typed); err != nil {
 				return fmt.Errorf("rdd: LoadGob part %d: %w", part, err)
 			}
-			for _, v := range typed {
-				sink(v)
+			// The decoded partition is sunk whole as one chunk.
+			if len(typed) > 0 {
+				sink(typed)
 			}
 			return nil
 		},

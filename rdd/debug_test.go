@@ -69,8 +69,8 @@ func FuzzReadSplit(f *testing.F) {
 		}
 		var got []string
 		for p := 0; p < parts; p++ {
-			err := readSplit(path, size, p, parts, func(v any) {
-				got = append(got, v.(string))
+			err := readSplit(path, size, p, parts, func(ch any) {
+				got = append(got, ch.([]string)...)
 			})
 			if err != nil {
 				t.Fatal(err)

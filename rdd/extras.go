@@ -15,8 +15,8 @@ import (
 func ZipWithIndex[T any](r *RDD[T]) (*RDD[Pair[int64, T]], error) {
 	p := r.n
 	sizes := make([]int64, p.parts)
-	err := p.runJob("zipWithIndexSizes", func(part int, vals []any) error {
-		sizes[part] = int64(len(vals))
+	err := p.runJob("zipWithIndexSizes", func(part int, chunks []any) error {
+		sizes[part] = int64(chunkRecords[T](chunks))
 		return nil
 	})
 	if err != nil {
@@ -31,9 +31,17 @@ func ZipWithIndex[T any](r *RDD[T]) (*RDD[Pair[int64, T]], error) {
 	n := newNode(p.ctx, p.parts, []*node{p}, nil,
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
 			i := offsets[part]
-			return p.iterate(part, tc, func(v any) {
-				sink(Pair[int64, T]{Key: i, Value: v.(T)})
-				i++
+			return p.iterate(part, tc, func(ch any) {
+				in := asChunk[T](ch)
+				if len(in) == 0 {
+					return
+				}
+				out := make([]Pair[int64, T], len(in))
+				for j, v := range in {
+					out[j] = Pair[int64, T]{Key: i, Value: v}
+					i++
+				}
+				sink(out)
 			})
 		}, p.preferred)
 	return &RDD[Pair[int64, T]]{n: n}, nil

@@ -31,16 +31,18 @@ func TextFile(c *Context, path string, parts int) (*RDD[string], error) {
 		parts = int(size)
 	}
 	execs := c.Executors()
+	prefs := executorPrefs(execs)
 	n := newNode(c, parts, nil, nil,
 		func(part int, _ *engine.TaskContext, sink func(any)) error {
 			return readSplit(path, size, part, parts, sink)
 		},
-		func(part int) []int { return []int{part % execs} },
+		func(part int) []int { return prefs[part%execs] },
 	)
 	return &RDD[string]{n: n}, nil
 }
 
-// readSplit streams the lines owned by one split.
+// readSplit reads the lines owned by one split and sinks them as a
+// single chunk.
 func readSplit(path string, size int64, part, parts int, sink func(any)) error {
 	lo := size * int64(part) / int64(parts)
 	hi := size * int64(part+1) / int64(parts)
@@ -66,6 +68,12 @@ func readSplit(path string, size int64, part, parts int, sink func(any)) error {
 			return err
 		}
 	}
+	var lines []string
+	flush := func() {
+		if len(lines) > 0 {
+			sink(lines)
+		}
+	}
 	// A line belongs to this split when it starts at pos <= hi; the
 	// next split skips it as its first line.
 	for pos <= hi {
@@ -75,15 +83,17 @@ func readSplit(path string, size int64, part, parts int, sink func(any)) error {
 			if line[len(line)-1] == '\n' {
 				line = line[:len(line)-1]
 			}
-			sink(line)
+			lines = append(lines, line)
 		}
 		if err == io.EOF {
+			flush()
 			return nil
 		}
 		if err != nil {
 			return err
 		}
 	}
+	flush()
 	return nil
 }
 
@@ -93,17 +103,19 @@ func SaveAsTextFile[T any](r *RDD[T], dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("rdd: SaveAsTextFile: %w", err)
 	}
-	return r.n.runJob("saveAsTextFile", func(part int, vals []any) error {
+	return r.n.runJob("saveAsTextFile", func(part int, chunks []any) error {
 		name := filepath.Join(dir, fmt.Sprintf("part-%05d", part))
 		f, err := os.Create(name)
 		if err != nil {
 			return err
 		}
 		w := bufio.NewWriter(f)
-		for _, v := range vals {
-			if _, err := fmt.Fprintln(w, v); err != nil {
-				f.Close()
-				return err
+		for _, ch := range chunks {
+			for _, v := range asChunk[T](ch) {
+				if _, err := fmt.Fprintln(w, v); err != nil {
+					f.Close()
+					return err
+				}
 			}
 		}
 		if err := w.Flush(); err != nil {

@@ -92,18 +92,14 @@ func (c *Context) shuffleMapTasks(d *shuffleDep, id int, parts []int) []engine.T
 		tasks[i] = engine.TaskSpec{
 			Preferred: pref,
 			Run: func(tc *engine.TaskContext) error {
-				var vals []any
-				if err := parent.iterate(p, tc, func(v any) { vals = append(vals, v) }); err != nil {
+				var chunks []any
+				if err := parent.iterate(p, tc, func(ch any) { chunks = append(chunks, ch) }); err != nil {
 					return err
 				}
-				buckets := d.write(vals)
-				count := 0
-				for _, b := range buckets {
-					count += len(b)
-				}
+				buckets, records := d.write(chunks)
 				// A coarse volume proxy feeds the load balancer.
-				tc.AddShuffleBytes(float64(count) * 48)
-				return c.rt.Shuffle().PutFrom(id, p, tc.Executor, buckets)
+				tc.AddShuffleBytes(float64(records) * 48)
+				return c.rt.Shuffle().PutChunksFrom(id, p, tc.Executor, buckets)
 			},
 		}
 	}
@@ -181,9 +177,9 @@ func (c *Context) runStageRecovering(name string, tasks []engine.TaskSpec, depth
 }
 
 // runJob materializes n's lineage and runs the result stage, delivering
-// each partition's boxed values to gather (called from the driver
-// goroutine, in partition order).
-func (n *node) runJob(name string, gather func(part int, vals []any) error) error {
+// each partition's chunks to gather (called from the driver goroutine,
+// in partition order; chunk contract as in chunk.go).
+func (n *node) runJob(name string, gather func(part int, chunks []any) error) error {
 	c := n.ctx
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -212,12 +208,12 @@ func (n *node) runJob(name string, gather func(part int, vals []any) error) erro
 		tasks[p] = engine.TaskSpec{
 			Preferred: pref,
 			Run: func(tc *engine.TaskContext) error {
-				var vals []any
-				if err := n.iterate(p, tc, func(v any) { vals = append(vals, v) }); err != nil {
+				var chunks []any
+				if err := n.iterate(p, tc, func(ch any) { chunks = append(chunks, ch) }); err != nil {
 					return err
 				}
 				resMu.Lock()
-				results[p] = vals
+				results[p] = chunks
 				resMu.Unlock()
 				return nil
 			},

@@ -26,21 +26,53 @@ type CoGrouped[V, W any] struct {
 	Right []W
 }
 
-// bucketFor hashes a key to a reduce partition.
+// bucketFor hashes a key to a reduce partition using the context's
+// cached seed.
 func bucketFor[K comparable](c *Context, k K, parts int) int {
 	return int(maphash.Comparable(c.seed, k) % uint64(parts))
 }
 
-// hashWriter partitions boxed Pair[K,V] values by key hash.
-func hashWriter[K comparable, V any](c *Context, parts int) func([]any) [][]any {
-	return func(vals []any) [][]any {
-		buckets := make([][]any, parts)
-		for _, v := range vals {
-			p := v.(Pair[K, V])
-			i := bucketFor(c, p.Key, parts)
-			buckets[i] = append(buckets[i], v)
+// countedWriter is the shared two-pass bucket builder: pass one places
+// each record once (recording its bucket in a compact index and
+// counting), pass two presizes every bucket exactly and fills. Map
+// output is built with O(buckets) allocations instead of O(records) —
+// no bucket regrowth, no per-record boxing.
+func countedWriter[E any](chunks []any, parts int, place func(E) int) ([]any, int) {
+	total := chunkRecords[E](chunks)
+	counts := make([]int, parts)
+	assign := make([]int32, total)
+	i := 0
+	for _, ch := range chunks {
+		for _, v := range asChunk[E](ch) {
+			b := place(v)
+			assign[i] = int32(b)
+			counts[b]++
+			i++
 		}
-		return buckets
+	}
+	buckets := make([][]E, parts)
+	for b, n := range counts {
+		if n > 0 {
+			buckets[b] = make([]E, 0, n)
+		}
+	}
+	i = 0
+	for _, ch := range chunks {
+		for _, v := range asChunk[E](ch) {
+			b := assign[i]
+			buckets[b] = append(buckets[b], v)
+			i++
+		}
+	}
+	return boxBuckets(buckets), total
+}
+
+// hashWriter partitions Pair[K,V] chunks by key hash.
+func hashWriter[K comparable, V any](c *Context, parts int) func([]any) ([]any, int) {
+	return func(chunks []any) ([]any, int) {
+		return countedWriter(chunks, parts, func(p Pair[K, V]) int {
+			return bucketFor(c, p.Key, parts)
+		})
 	}
 }
 
@@ -61,16 +93,18 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K,
 	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
+			chunks, err := c.rt.FetchShuffleChunks(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
-			idx := make(map[K]int)
-			var order []K
-			var lists [][]V
-			for _, chunk := range chunks {
-				for _, v := range chunk {
-					p := v.(Pair[K, V])
+			// Presize grouping state from the fetched record count (an
+			// upper bound on distinct keys) — no rehash/regrow churn.
+			total := chunkRecords[Pair[K, V]](chunks)
+			idx := make(map[K]int, total)
+			order := make([]K, 0, total)
+			lists := make([][]V, 0, total)
+			for _, ch := range chunks {
+				for _, p := range asChunk[Pair[K, V]](ch) {
 					i, ok := idx[p.Key]
 					if !ok {
 						i = len(order)
@@ -81,9 +115,14 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K,
 					lists[i] = append(lists[i], p.Value)
 				}
 			}
-			for i, k := range order {
-				sink(Pair[K, []V]{Key: k, Value: lists[i]})
+			if len(order) == 0 {
+				return nil
 			}
+			out := make([]Pair[K, []V], len(order))
+			for i, k := range order {
+				out[i] = Pair[K, []V]{Key: k, Value: lists[i]}
+			}
+			sink(out)
 			return nil
 		}, nil)
 	return &RDD[Pair[K, []V]]{n: n}
@@ -100,42 +139,46 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], parts int,
 	dep := &shuffleDep{
 		parent:      r.n,
 		reduceParts: parts,
-		write: func(vals []any) [][]any {
-			// Map-side combine into per-key accumulators, then bucket.
-			idx := make(map[K]int)
-			var order []K
-			var accs []C
-			for _, v := range vals {
-				p := v.(Pair[K, V])
-				i, ok := idx[p.Key]
-				if !ok {
-					idx[p.Key] = len(order)
-					order = append(order, p.Key)
-					accs = append(accs, createCombiner(p.Value))
-					continue
+		write: func(chunks []any) ([]any, int) {
+			// Map-side combine into per-key accumulators, then bucket
+			// the combined pairs with the counted two-pass writer.
+			total := chunkRecords[Pair[K, V]](chunks)
+			idx := make(map[K]int, total)
+			order := make([]K, 0, total)
+			accs := make([]C, 0, total)
+			for _, ch := range chunks {
+				for _, p := range asChunk[Pair[K, V]](ch) {
+					i, ok := idx[p.Key]
+					if !ok {
+						idx[p.Key] = len(order)
+						order = append(order, p.Key)
+						accs = append(accs, createCombiner(p.Value))
+						continue
+					}
+					accs[i] = mergeValue(accs[i], p.Value)
 				}
-				accs[i] = mergeValue(accs[i], p.Value)
 			}
-			buckets := make([][]any, parts)
+			combined := make([]Pair[K, C], len(order))
 			for i, k := range order {
-				b := bucketFor(c, k, parts)
-				buckets[b] = append(buckets[b], Pair[K, C]{Key: k, Value: accs[i]})
+				combined[i] = Pair[K, C]{Key: k, Value: accs[i]}
 			}
-			return buckets
+			return countedWriter([]any{combined}, parts, func(p Pair[K, C]) int {
+				return bucketFor(c, p.Key, parts)
+			})
 		},
 	}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
+			chunks, err := c.rt.FetchShuffleChunks(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
-			idx := make(map[K]int)
-			var order []K
-			var accs []C
-			for _, chunk := range chunks {
-				for _, v := range chunk {
-					p := v.(Pair[K, C])
+			total := chunkRecords[Pair[K, C]](chunks)
+			idx := make(map[K]int, total)
+			order := make([]K, 0, total)
+			accs := make([]C, 0, total)
+			for _, ch := range chunks {
+				for _, p := range asChunk[Pair[K, C]](ch) {
 					i, ok := idx[p.Key]
 					if !ok {
 						idx[p.Key] = len(order)
@@ -146,9 +189,14 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], parts int,
 					accs[i] = mergeCombiners(accs[i], p.Value)
 				}
 			}
-			for i, k := range order {
-				sink(Pair[K, C]{Key: k, Value: accs[i]})
+			if len(order) == 0 {
+				return nil
 			}
+			out := make([]Pair[K, C], len(order))
+			for i, k := range order {
+				out[i] = Pair[K, C]{Key: k, Value: accs[i]}
+			}
+			sink(out)
 			return nil
 		}, nil)
 	return &RDD[Pair[K, C]]{n: n}
@@ -169,13 +217,14 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K
 	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
+			chunks, err := c.rt.FetchShuffleChunks(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
-			for _, chunk := range chunks {
-				for _, v := range chunk {
-					sink(v)
+			// Fetched bucket chunks are re-sunk as-is: zero copy.
+			for _, ch := range chunks {
+				if len(asChunk[Pair[K, V]](ch)) > 0 {
+					sink(ch)
 				}
 			}
 			return nil
@@ -195,9 +244,18 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 	depB := &shuffleDep{parent: b.n, reduceParts: parts, write: hashWriter[K, W](c, parts)}
 	n := newNode(c, parts, nil, []*shuffleDep{depA, depB},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			idx := make(map[K]int)
-			var order []K
-			var groups []CoGrouped[V, W]
+			chunksA, err := c.rt.FetchShuffleChunks(tc, depA.engineID, part)
+			if err != nil {
+				return err
+			}
+			chunksB, err := c.rt.FetchShuffleChunks(tc, depB.engineID, part)
+			if err != nil {
+				return err
+			}
+			total := chunkRecords[Pair[K, V]](chunksA) + chunkRecords[Pair[K, W]](chunksB)
+			idx := make(map[K]int, total)
+			order := make([]K, 0, total)
+			groups := make([]CoGrouped[V, W], 0, total)
 			locate := func(k K) int {
 				i, ok := idx[k]
 				if !ok {
@@ -208,31 +266,26 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 				}
 				return i
 			}
-			chunksA, err := c.rt.FetchShuffle(tc, depA.engineID, part)
-			if err != nil {
-				return err
-			}
-			for _, chunk := range chunksA {
-				for _, v := range chunk {
-					p := v.(Pair[K, V])
+			for _, ch := range chunksA {
+				for _, p := range asChunk[Pair[K, V]](ch) {
 					i := locate(p.Key)
 					groups[i].Left = append(groups[i].Left, p.Value)
 				}
 			}
-			chunksB, err := c.rt.FetchShuffle(tc, depB.engineID, part)
-			if err != nil {
-				return err
-			}
-			for _, chunk := range chunksB {
-				for _, v := range chunk {
-					p := v.(Pair[K, W])
+			for _, ch := range chunksB {
+				for _, p := range asChunk[Pair[K, W]](ch) {
 					i := locate(p.Key)
 					groups[i].Right = append(groups[i].Right, p.Value)
 				}
 			}
-			for i, k := range order {
-				sink(Pair[K, CoGrouped[V, W]]{Key: k, Value: groups[i]})
+			if len(order) == 0 {
+				return nil
 			}
+			out := make([]Pair[K, CoGrouped[V, W]], len(order))
+			for i, k := range order {
+				out[i] = Pair[K, CoGrouped[V, W]]{Key: k, Value: groups[i]}
+			}
+			sink(out)
 			return nil
 		}, nil)
 	return &RDD[Pair[K, CoGrouped[V, W]]]{n: n}
@@ -316,27 +369,21 @@ func SortByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], parts int, ascending bo
 	dep := &shuffleDep{
 		parent:      r.n,
 		reduceParts: parts,
-		write: func(vals []any) [][]any {
-			buckets := make([][]any, parts)
-			for _, v := range vals {
-				p := v.(Pair[K, V])
-				i := rangeOf(p.Key)
-				buckets[i] = append(buckets[i], v)
-			}
-			return buckets
+		write: func(chunks []any) ([]any, int) {
+			return countedWriter(chunks, parts, func(p Pair[K, V]) int {
+				return rangeOf(p.Key)
+			})
 		},
 	}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			chunks, err := c.rt.FetchShuffle(tc, dep.engineID, part)
+			chunks, err := c.rt.FetchShuffleChunks(tc, dep.engineID, part)
 			if err != nil {
 				return err
 			}
-			var all []Pair[K, V]
-			for _, chunk := range chunks {
-				for _, v := range chunk {
-					all = append(all, v.(Pair[K, V]))
-				}
+			all := flattenChunks[Pair[K, V]](chunks)
+			if len(all) == 0 {
+				return nil
 			}
 			slices.SortStableFunc(all, func(x, y Pair[K, V]) int {
 				if ascending {
@@ -344,9 +391,7 @@ func SortByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], parts int, ascending bo
 				}
 				return cmp.Compare(y.Key, x.Key)
 			})
-			for _, p := range all {
-				sink(p)
-			}
+			sink(all)
 			return nil
 		}, nil)
 	return &RDD[Pair[K, V]]{n: n}, nil

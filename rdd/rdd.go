@@ -67,10 +67,11 @@ func (c *Context) newID() int {
 type shuffleDep struct {
 	parent      *node
 	reduceParts int
-	// write partitions one map partition's boxed values into
-	// reduceParts buckets (applying map-side combining when the
-	// operation supports it).
-	write func(vals []any) [][]any
+	// write partitions one map partition's chunks into exactly
+	// reduceParts bucket chunks (nil where empty; applying map-side
+	// combining when the operation supports it), also reporting how many
+	// records it bucketed — the load balancer's volume proxy.
+	write func(chunks []any) (buckets []any, records int)
 
 	mu           sync.Mutex
 	engineID     int
@@ -84,14 +85,15 @@ type node struct {
 	parts   int
 	parents []*node       // narrow dependencies
 	deps    []*shuffleDep // shuffle dependencies feeding this node
-	// compute produces partition part's boxed values into sink.
-	compute func(part int, tc *engine.TaskContext, sink func(any)) error
+	// compute produces partition part as chunks into sink: each sunk
+	// value is a []T boxed once (see chunk.go for the chunk contract).
+	compute func(part int, tc *engine.TaskContext, sink func(chunk any)) error
 	// preferred lists executor IDs holding partition part (may be nil).
 	preferred func(part int) []int
 
 	cacheMu   sync.Mutex
 	cached    bool
-	cacheData [][]any
+	cacheData [][]any // per partition: the list of chunks it produced
 	cacheOK   []bool
 }
 
@@ -128,14 +130,16 @@ func (r *RDD[T]) Uncache() {
 	r.n.cacheOK = nil
 }
 
-// iterate produces partition part, serving and populating the cache.
-func (n *node) iterate(part int, tc *engine.TaskContext, sink func(any)) error {
+// iterate produces partition part's chunks, serving and populating the
+// cache. Cached chunks are re-sunk as stored — chunk immutability makes
+// the aliasing safe.
+func (n *node) iterate(part int, tc *engine.TaskContext, sink func(chunk any)) error {
 	n.cacheMu.Lock()
 	if n.cached && n.cacheOK[part] {
 		data := n.cacheData[part]
 		n.cacheMu.Unlock()
-		for _, v := range data {
-			sink(v)
+		for _, ch := range data {
+			sink(ch)
 		}
 		return nil
 	}
@@ -146,9 +150,9 @@ func (n *node) iterate(part int, tc *engine.TaskContext, sink func(any)) error {
 		return n.compute(part, tc, sink)
 	}
 	var buf []any
-	if err := n.compute(part, tc, func(v any) {
-		buf = append(buf, v)
-		sink(v)
+	if err := n.compute(part, tc, func(ch any) {
+		buf = append(buf, ch)
+		sink(ch)
 	}); err != nil {
 		return err
 	}
@@ -163,7 +167,7 @@ func (n *node) iterate(part int, tc *engine.TaskContext, sink func(any)) error {
 
 // newNode allocates a plan node.
 func newNode(ctx *Context, parts int, parents []*node, deps []*shuffleDep,
-	compute func(int, *engine.TaskContext, func(any)) error,
+	compute func(int, *engine.TaskContext, func(chunk any)) error,
 	preferred func(int) []int) *node {
 	return &node{
 		ctx:       ctx,
@@ -197,14 +201,17 @@ func Parallelize[T any](c *Context, data []T, parts int) *RDD[T] {
 		chunks[i] = data[lo:hi]
 	}
 	execs := c.Executors()
+	prefs := executorPrefs(execs)
 	n := newNode(c, parts, nil, nil,
 		func(part int, _ *engine.TaskContext, sink func(any)) error {
-			for _, v := range chunks[part] {
-				sink(v)
+			// The partition slice is sunk whole, zero-copy: one boxing
+			// for the entire partition.
+			if len(chunks[part]) > 0 {
+				sink(chunks[part])
 			}
 			return nil
 		},
-		func(part int) []int { return []int{part % execs} },
+		func(part int) []int { return prefs[part%execs] },
 	)
 	return &RDD[T]{n: n}
 }
@@ -222,28 +229,45 @@ func Range(c *Context, start, end int64, parts int) *RDD[int64] {
 		parts = 1
 	}
 	execs := c.Executors()
+	prefs := executorPrefs(execs)
 	n := newNode(c, parts, nil, nil,
 		func(part int, _ *engine.TaskContext, sink func(any)) error {
 			lo := start + total*int64(part)/int64(parts)
 			hi := start + total*int64(part+1)/int64(parts)
-			for v := lo; v < hi; v++ {
-				sink(v)
+			if hi <= lo {
+				return nil
 			}
+			out := make([]int64, hi-lo)
+			for i := range out {
+				out[i] = lo + int64(i)
+			}
+			sink(out)
 			return nil
 		},
-		func(part int) []int { return []int{part % execs} },
+		func(part int) []int { return prefs[part%execs] },
 	)
 	return &RDD[int64]{n: n}
 }
 
 // ---- narrow transformations ----
 
-// Map applies f to every element.
+// Map applies f to every element. Fused over chunks: one output slice
+// (and one boxing) per input chunk.
 func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
 	p := r.n
 	n := newNode(p.ctx, p.parts, []*node{p}, nil,
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			return p.iterate(part, tc, func(v any) { sink(f(v.(T))) })
+			return p.iterate(part, tc, func(ch any) {
+				in := asChunk[T](ch)
+				if len(in) == 0 {
+					return
+				}
+				out := make([]U, len(in))
+				for i, v := range in {
+					out[i] = f(v)
+				}
+				sink(out)
+			})
 		}, p.preferred)
 	return &RDD[U]{n: n}
 }
@@ -253,9 +277,13 @@ func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
 	p := r.n
 	n := newNode(p.ctx, p.parts, []*node{p}, nil,
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			return p.iterate(part, tc, func(v any) {
-				for _, u := range f(v.(T)) {
-					sink(u)
+			return p.iterate(part, tc, func(ch any) {
+				var out []U
+				for _, v := range asChunk[T](ch) {
+					out = append(out, f(v)...)
+				}
+				if len(out) > 0 {
+					sink(out)
 				}
 			})
 		}, p.preferred)
@@ -267,12 +295,13 @@ func MapPartitions[T, U any](r *RDD[T], f func(part int, vals []T) []U) *RDD[U] 
 	p := r.n
 	n := newNode(p.ctx, p.parts, []*node{p}, nil,
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			var vals []T
-			if err := p.iterate(part, tc, func(v any) { vals = append(vals, v.(T)) }); err != nil {
+			var chunks []any
+			if err := p.iterate(part, tc, func(ch any) { chunks = append(chunks, ch) }); err != nil {
 				return err
 			}
-			for _, u := range f(part, vals) {
-				sink(u)
+			// f's result is sunk whole — the partition's single chunk.
+			if out := f(part, flattenChunks[T](chunks)); len(out) > 0 {
+				sink(out)
 			}
 			return nil
 		}, p.preferred)
@@ -284,9 +313,15 @@ func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 	p := r.n
 	n := newNode(p.ctx, p.parts, []*node{p}, nil,
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
-			return p.iterate(part, tc, func(v any) {
-				if pred(v.(T)) {
-					sink(v)
+			return p.iterate(part, tc, func(ch any) {
+				var out []T
+				for _, v := range asChunk[T](ch) {
+					if pred(v) {
+						out = append(out, v)
+					}
+				}
+				if len(out) > 0 {
+					sink(out)
 				}
 			})
 		}, p.preferred)
@@ -340,9 +375,15 @@ func (r *RDD[T]) Sample(frac float64, seed uint64) *RDD[T] {
 				z ^= z >> 31
 				return float64(z>>11) / float64(1<<53)
 			}
-			return p.iterate(part, tc, func(v any) {
-				if next() < frac {
-					sink(v)
+			return p.iterate(part, tc, func(ch any) {
+				var out []T
+				for _, v := range asChunk[T](ch) {
+					if next() < frac {
+						out = append(out, v)
+					}
+				}
+				if len(out) > 0 {
+					sink(out)
 				}
 			})
 		}, p.preferred)

@@ -1,0 +1,57 @@
+package rdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSortByKeyDescendingDuplicatesProperty property-tests the
+// descending range partitioner (the len(bounds)-lo reflection) against
+// randomized inputs dense with duplicate keys: for any input, the
+// collected output must be a non-increasing key sequence and the same
+// multiset of pairs as the input.
+func TestSortByKeyDescendingDuplicatesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(400)
+		keyDomain := 1 + rng.Intn(12) // tiny domain: duplicates guaranteed
+		inParts := 1 + rng.Intn(6)
+		outParts := 1 + rng.Intn(6)
+
+		pairs := make([]Pair[int, int], n)
+		counts := map[Pair[int, int]]int{}
+		for i := range pairs {
+			pairs[i] = Pair[int, int]{Key: rng.Intn(keyDomain), Value: rng.Intn(3)}
+			counts[pairs[i]]++
+		}
+
+		c := ctx(t)
+		sorted, err := SortByKey(Parallelize(c, pairs, inParts), outParts, false)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d dom=%d in=%d out=%d): %v", trial, n, keyDomain, inParts, outParts, err)
+		}
+		got, err := sorted.Collect()
+		if err != nil {
+			t.Fatalf("trial %d: collect: %v", trial, err)
+		}
+
+		if len(got) != n {
+			t.Fatalf("trial %d: got %d pairs, want %d", trial, len(got), n)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Key > got[i-1].Key {
+				t.Fatalf("trial %d: keys increase at %d: %d then %d (n=%d dom=%d out=%d)",
+					trial, i, got[i-1].Key, got[i].Key, n, keyDomain, outParts)
+			}
+		}
+		for _, p := range got {
+			counts[p]--
+		}
+		for p, k := range counts {
+			if k != 0 {
+				t.Fatalf("trial %d: pair %+v off by %d", trial, p, k)
+			}
+		}
+		c.Stop()
+	}
+}

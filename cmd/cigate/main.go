@@ -98,6 +98,7 @@ func perfCmd(args []string) {
 	threshold := fs.Float64("threshold", 0, "median-delta that matters (default 0.10)")
 	alpha := fs.Float64("alpha", 0, "Mann-Whitney significance level (default 0.05)")
 	allocTh := fs.Float64("alloc-threshold", 0, "allocation median-delta that matters (default 0.10)")
+	extraTh := fs.Float64("extra-threshold", 0, "gated-extra (shuffle volume) growth that matters (default 0.10)")
 	fs.Parse(args)
 
 	base, err := perf.LoadReport(*baseline)
@@ -108,7 +109,9 @@ func perfCmd(args []string) {
 	if err != nil {
 		fatal("%v", err)
 	}
-	cmp := perf.Compare(base, cur, perf.Thresholds{MedianDelta: *threshold, Alpha: *alpha, AllocDelta: *allocTh})
+	cmp := perf.Compare(base, cur, perf.Thresholds{
+		MedianDelta: *threshold, Alpha: *alpha, AllocDelta: *allocTh, ExtraDelta: *extraTh,
+	})
 	fmt.Print(cmp.Table())
 	if cmp.Regressed() {
 		fmt.Fprintln(os.Stderr, "cigate: performance regression detected")

@@ -7,6 +7,13 @@
 //	go run ./cmd/mrchaos -seed 42            # one trial
 //	go run ./cmd/mrchaos -seed 1 -runs 100   # sweep seeds 1..100
 //	go run ./cmd/mrchaos -seed 7 -out t.jsonl  # also dump the trace
+//	go run ./cmd/mrchaos -engine -seed 1 -runs 25  # real-runtime trials
+//
+// With -engine, each trial replays its plan against the real engine
+// runtime instead of the simulator: a keyed-sum job with map-side
+// combining enabled, judged against analytically computed golden sums
+// (the sharpest detector for duplicated or lost combined chunks under
+// lineage recovery). Engine trials have no trace dump or shrinker.
 //
 // A failing seed reproduces from the seed alone; its plan is shrunk to
 // a minimal failing event set and printed as JSON. Exit status is 1
@@ -34,7 +41,13 @@ func main() {
 	shrink := flag.Bool("shrink", true, "minimize failing plans before reporting")
 	out := flag.String("out", "", "write the last trial's trace as JSONL to this file")
 	verbose := flag.Bool("v", false, "print every trial, not only failures")
+	engineTrials := flag.Bool("engine", false, "run trials against the real engine runtime (combiners on) instead of the simulator")
 	flag.Parse()
+
+	if *engineTrials {
+		runEngineSweep(*seed, *runs, *verbose)
+		return
+	}
 
 	cfg := chaostest.Config{
 		Nodes:        *nodes,
@@ -68,6 +81,33 @@ func main() {
 		}
 	}
 	fmt.Printf("mrchaos: %d/%d trials passed\n", *runs-failures, *runs)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runEngineSweep runs consecutive seeds against the real runtime and
+// exits non-zero on any violation.
+func runEngineSweep(seed int64, runs int, verbose bool) {
+	failures := 0
+	for i := 0; i < runs; i++ {
+		s := seed + int64(i)
+		rep, err := chaostest.RunEngineSeed(chaostest.EngineConfig{}, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrchaos: seed %d: %v\n", s, err)
+			os.Exit(2)
+		}
+		if rep.Failed() {
+			failures++
+			fmt.Printf("engine seed %d %s\n", s, rep.Summary())
+			if enc, err := rep.Plan.Encode(); err == nil {
+				fmt.Printf("  failing plan (%d events): %s\n", len(rep.Plan.Events), enc)
+			}
+		} else if verbose {
+			fmt.Printf("engine seed %d %s\n", s, rep.Summary())
+		}
+	}
+	fmt.Printf("mrchaos: %d/%d engine trials passed\n", runs-failures, runs)
 	if failures > 0 {
 		os.Exit(1)
 	}

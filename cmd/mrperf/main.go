@@ -84,6 +84,7 @@ func compareMain(args []string) {
 		threshold = fs.Float64("threshold", 0, "median-delta that matters (default 0.10)")
 		alpha     = fs.Float64("alpha", 0, "Mann-Whitney significance level (default 0.05)")
 		allocTh   = fs.Float64("alloc-threshold", 0, "allocation median-delta that matters (default 0.10)")
+		extraTh   = fs.Float64("extra-threshold", 0, "gated-extra (shuffle volume) growth that matters (default 0.10)")
 		quiet     = fs.Bool("q", false, "suppress per-repetition progress")
 	)
 	fs.Parse(args)
@@ -101,7 +102,9 @@ func compareMain(args []string) {
 		cur = runSuite(*pattern, perf.RunOptions{Short: *short, Reps: *reps}, *quiet)
 	}
 
-	cmp := perf.Compare(base, cur, perf.Thresholds{MedianDelta: *threshold, Alpha: *alpha, AllocDelta: *allocTh})
+	cmp := perf.Compare(base, cur, perf.Thresholds{
+		MedianDelta: *threshold, Alpha: *alpha, AllocDelta: *allocTh, ExtraDelta: *extraTh,
+	})
 	fmt.Print(cmp.Table())
 	if cmp.Regressed() {
 		fmt.Fprintln(os.Stderr, "mrperf: performance regression detected")

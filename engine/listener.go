@@ -26,6 +26,9 @@ type Listener interface {
 	OnTaskStart(e TaskEvent)
 	// OnTaskEnd fires after every task attempt.
 	OnTaskEnd(e TaskEvent)
+	// OnFetch fires after every successful shuffle fetch, carrying the
+	// records and approximate bytes the reduce side pulled.
+	OnFetch(e FetchEvent)
 }
 
 // TaskEvent describes one task attempt.
@@ -40,7 +43,28 @@ type TaskEvent struct {
 	// OnTaskStart events).
 	Duration     float64
 	ShuffleBytes float64
-	Failed       bool
+	// ShuffleRecords is how many shuffle records the attempt wrote.
+	ShuffleRecords int64
+	Failed         bool
+}
+
+// FetchEvent describes one successful shuffle fetch: the reduce-side
+// task pulling one reduce partition's chunks from every map partition.
+type FetchEvent struct {
+	Shuffle    int
+	ReducePart int
+	TaskID     int
+	Attempt    int
+	Executor   int
+	// Start is when the fetch began (monotonic wall clock).
+	Start time.Time
+	// Duration is the fetch's wall time in seconds, including retry
+	// backoff against injected fetch faults.
+	Duration float64
+	// Records and Bytes are the fetched volume (bytes approximate, from
+	// chunk element sizes).
+	Records int64
+	Bytes   float64
 }
 
 // listeners is a concurrency-safe fan-out.
@@ -53,6 +77,14 @@ func (l *listeners) add(s Listener) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.subs = append(l.subs, s)
+}
+
+// active reports whether any listener is subscribed, letting hot paths
+// skip event assembly entirely when nobody is watching.
+func (l *listeners) active() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.subs) > 0
 }
 
 // guard recovers a panicking listener so observers cannot take down
@@ -105,6 +137,17 @@ func (l *listeners) taskEnd(e TaskEvent) {
 	}
 }
 
+func (l *listeners) fetch(e FetchEvent) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, s := range l.subs {
+		func() {
+			defer guard()
+			s.OnFetch(e)
+		}()
+	}
+}
+
 // AddListener subscribes a listener to runtime events. It is safe to
 // call concurrently with running stages.
 func (rt *Runtime) AddListener(l Listener) {
@@ -119,6 +162,7 @@ type FuncListener struct {
 	StageEnd   func(m StageMetrics)
 	TaskStart  func(e TaskEvent)
 	TaskEnd    func(e TaskEvent)
+	Fetch      func(e FetchEvent)
 }
 
 // OnStageStart implements Listener.
@@ -146,5 +190,12 @@ func (f FuncListener) OnTaskStart(e TaskEvent) {
 func (f FuncListener) OnTaskEnd(e TaskEvent) {
 	if f.TaskEnd != nil {
 		f.TaskEnd(e)
+	}
+}
+
+// OnFetch implements Listener.
+func (f FuncListener) OnFetch(e FetchEvent) {
+	if f.Fetch != nil {
+		f.Fetch(e)
 	}
 }

@@ -15,6 +15,7 @@ func (p *panicker) OnStageStart(name string, tasks int) { p.calls.Add(1); panic(
 func (p *panicker) OnStageEnd(m StageMetrics)           { p.calls.Add(1); panic("stage end") }
 func (p *panicker) OnTaskStart(e TaskEvent)             { p.calls.Add(1); panic("task start") }
 func (p *panicker) OnTaskEnd(e TaskEvent)               { p.calls.Add(1); panic("task end") }
+func (p *panicker) OnFetch(e FetchEvent)                { p.calls.Add(1); panic("fetch") }
 
 // TestListenerPanicDoesNotWedgeRuntime enforces the Listener contract:
 // a panicking listener is recovered, the stage still completes, and

@@ -13,6 +13,13 @@ type recorder struct {
 	ends       []StageMetrics
 	taskStarts []TaskEvent
 	tasks      []TaskEvent
+	fetches    []FetchEvent
+}
+
+func (r *recorder) OnFetch(e FetchEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fetches = append(r.fetches, e)
 }
 
 func (r *recorder) OnStageStart(name string, tasks int) {

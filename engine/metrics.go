@@ -42,12 +42,13 @@ type Metrics struct {
 	mu     sync.Mutex
 	stages []StageMetrics
 
-	tasksRun      atomic.Int64
-	taskFailures  atomic.Int64
-	localLaunches atomic.Int64
-	speculations  atomic.Int64
-	totalTaskSecs atomicFloat64
-	shuffleBytes  atomicFloat64
+	tasksRun       atomic.Int64
+	taskFailures   atomic.Int64
+	localLaunches  atomic.Int64
+	speculations   atomic.Int64
+	totalTaskSecs  atomicFloat64
+	shuffleBytes   atomicFloat64
+	shuffleRecords atomic.Int64
 }
 
 func (m *Metrics) recordSpeculations(n int) {
@@ -65,10 +66,11 @@ func (m *Metrics) recordStage(name string, tasks int, d time.Duration, ok bool) 
 	m.stages = append(m.stages, StageMetrics{Name: name, Tasks: tasks, Duration: d, Success: ok})
 }
 
-func (m *Metrics) recordTask(durSecs, shuffleBytes float64, local, failed bool) {
+func (m *Metrics) recordTask(durSecs, shuffleBytes float64, shuffleRecords int64, local, failed bool) {
 	m.tasksRun.Add(1)
 	m.totalTaskSecs.Add(durSecs)
 	m.shuffleBytes.Add(shuffleBytes)
+	m.shuffleRecords.Add(shuffleRecords)
 	if local {
 		m.localLaunches.Add(1)
 	}
@@ -95,6 +97,10 @@ func (m *Metrics) LocalLaunches() int64 { return m.localLaunches.Load() }
 
 // ShuffleBytes returns the total intermediate bytes reported by tasks.
 func (m *Metrics) ShuffleBytes() float64 { return m.shuffleBytes.Load() }
+
+// ShuffleRecords returns the total shuffle records reported by tasks —
+// the count map-side combining exists to shrink.
+func (m *Metrics) ShuffleRecords() int64 { return m.shuffleRecords.Load() }
 
 // String renders a one-line summary.
 func (m *Metrics) String() string {

@@ -21,12 +21,18 @@ type TaskContext struct {
 	Attempt  int
 	Executor int
 
-	shuffleBytes float64
+	shuffleBytes   float64
+	shuffleRecords int64
 }
 
 // AddShuffleBytes records intermediate data the task produced; the
 // scheduler's load balancer (ELB) feeds on this.
 func (tc *TaskContext) AddShuffleBytes(n float64) { tc.shuffleBytes += n }
+
+// AddShuffleRecords records how many shuffle records the task wrote —
+// the record-count dimension of shuffle volume (map-side combining
+// shrinks it without changing result bytes fetched per key).
+func (tc *TaskContext) AddShuffleRecords(n int64) { tc.shuffleRecords += n }
 
 // TaskSpec is one schedulable task of a stage.
 type TaskSpec struct {
@@ -239,6 +245,7 @@ func (rt *Runtime) fetchRetrying(tc *TaskContext, shuffleID, reducePart int, fet
 // through lineage. Task bodies should use this (or FetchShuffleChunks)
 // instead of Shuffle().Fetch.
 func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][]any, error) {
+	start := time.Now()
 	var out [][]any
 	err := rt.fetchRetrying(tc, shuffleID, reducePart, func() error {
 		var ferr error
@@ -248,6 +255,14 @@ func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][
 	if err != nil {
 		return nil, err
 	}
+	if rt.listeners.active() {
+		var records, bytes int64
+		for _, b := range out {
+			r, by := chunkVolume(b)
+			records, bytes = records+r, bytes+by
+		}
+		rt.notifyFetch(tc, shuffleID, reducePart, start, records, bytes)
+	}
 	return out, nil
 }
 
@@ -256,6 +271,7 @@ func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][
 // retry and missing-output semantics as FetchShuffle. This is the hot
 // path the rdd reduce side uses: no flattening, no per-record boxing.
 func (rt *Runtime) FetchShuffleChunks(tc *TaskContext, shuffleID, reducePart int) ([]any, error) {
+	start := time.Now()
 	var out []any
 	err := rt.fetchRetrying(tc, shuffleID, reducePart, func() error {
 		var ferr error
@@ -265,7 +281,32 @@ func (rt *Runtime) FetchShuffleChunks(tc *TaskContext, shuffleID, reducePart int
 	if err != nil {
 		return nil, err
 	}
+	if rt.listeners.active() {
+		var records, bytes int64
+		for _, ch := range out {
+			r, by := chunkVolume(ch)
+			records, bytes = records+r, bytes+by
+		}
+		rt.notifyFetch(tc, shuffleID, reducePart, start, records, bytes)
+	}
 	return out, nil
+}
+
+// notifyFetch fans one completed shuffle fetch out to the listeners.
+// Volume is only tallied when a listener is subscribed, so untraced runs
+// pay nothing on the fetch path.
+func (rt *Runtime) notifyFetch(tc *TaskContext, shuffleID, reducePart int, start time.Time, records, bytes int64) {
+	rt.listeners.fetch(FetchEvent{
+		Shuffle:    shuffleID,
+		ReducePart: reducePart,
+		TaskID:     tc.TaskID,
+		Attempt:    tc.Attempt,
+		Executor:   tc.Executor,
+		Start:      start,
+		Duration:   time.Since(start).Seconds(),
+		Records:    records,
+		Bytes:      float64(bytes),
+	})
 }
 
 // ---- persistent executor workers ----
@@ -838,14 +879,15 @@ func (st *stageState) runTask(d sched.Decision, exec int, scratch *TaskContext) 
 		}
 	}
 	rt.listeners.taskEnd(TaskEvent{
-		Stage:        st.name,
-		TaskID:       d.TaskID,
-		Attempt:      attempt,
-		Executor:     exec,
-		Start:        start,
-		Duration:     dur,
-		ShuffleBytes: tc.shuffleBytes,
-		Failed:       err != nil,
+		Stage:          st.name,
+		TaskID:         d.TaskID,
+		Attempt:        attempt,
+		Executor:       exec,
+		Start:          start,
+		Duration:       dur,
+		ShuffleBytes:   tc.shuffleBytes,
+		ShuffleRecords: tc.shuffleRecords,
+		Failed:         err != nil,
 	})
 
 	st.mu.Lock()
@@ -881,7 +923,7 @@ func (st *stageState) runTask(d sched.Decision, exec int, scratch *TaskContext) 
 		Duration:          dur,
 		IntermediateBytes: tc.shuffleBytes,
 	})
-	rt.metrics.recordTask(dur, tc.shuffleBytes, d.Local, err != nil)
+	rt.metrics.recordTask(dur, tc.shuffleBytes, tc.shuffleRecords, d.Local, err != nil)
 	success := err == nil
 	switch {
 	case success:

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ShuffleStore is the in-memory shuffle service connecting map-side
@@ -35,6 +36,11 @@ type ShuffleStore struct {
 	shuffles map[int]*shuffleData
 	nextID   int
 	lost     map[int]bool // executors whose writes are no longer accepted
+
+	// Store-wide movement totals, mirrored from the per-shuffle counters
+	// so they survive Drop.
+	totalRecords atomic.Int64
+	totalBytes   atomic.Int64
 }
 
 // shuffleData holds one shuffle's chunks:
@@ -46,6 +52,37 @@ type shuffleData struct {
 	chunks      [][]any
 	written     []bool
 	owners      []int // producing executor per map partition; -1 unknown
+
+	// Cumulative movement through this shuffle: every record/byte ever
+	// put, including re-puts from retried or recovered map tasks — the
+	// write amplification a fault run actually paid, not just the
+	// surviving data.
+	putRecords atomic.Int64
+	putBytes   atomic.Int64
+}
+
+// Volume summarizes data movement through a shuffle (or a whole store):
+// records written and their approximate in-memory bytes, cumulative
+// across re-puts.
+type Volume struct {
+	Records int64
+	Bytes   int64
+}
+
+// chunkVolume measures one stored chunk: its record count and
+// approximate bytes (element size times length; record-boxed []any
+// chunks count one interface header per record).
+func chunkVolume(ch any) (records, bytes int64) {
+	switch c := ch.(type) {
+	case nil:
+		return 0, 0
+	case []any:
+		n := int64(len(c))
+		return n, n * 16
+	}
+	v := reflect.ValueOf(ch)
+	n := int64(v.Len())
+	return n, n * int64(v.Type().Elem().Size())
 }
 
 // LostPart identifies one invalidated map output.
@@ -113,12 +150,37 @@ func (s *ShuffleStore) PutChunksFrom(shuffleID, mapPart, owner int, chunks []any
 	if len(chunks) != d.reduceParts {
 		return fmt.Errorf("engine: shuffle %d: got %d buckets, want %d", shuffleID, len(chunks), d.reduceParts)
 	}
+	var records, bytes int64
+	for _, ch := range chunks {
+		r, b := chunkVolume(ch)
+		records, bytes = records+r, bytes+b
+	}
 	d.mu.Lock()
 	d.chunks[mapPart] = chunks
 	d.written[mapPart] = true
 	d.owners[mapPart] = owner
 	d.mu.Unlock()
+	d.putRecords.Add(records)
+	d.putBytes.Add(bytes)
+	s.totalRecords.Add(records)
+	s.totalBytes.Add(bytes)
 	return nil
+}
+
+// ShuffleVolume returns the cumulative movement through one shuffle
+// (zero Volume for unknown IDs).
+func (s *ShuffleStore) ShuffleVolume(shuffleID int) Volume {
+	d, ok, _ := s.get(shuffleID, -1)
+	if !ok {
+		return Volume{}
+	}
+	return Volume{Records: d.putRecords.Load(), Bytes: d.putBytes.Load()}
+}
+
+// TotalVolume returns the cumulative movement through every shuffle the
+// store has ever held, including dropped ones.
+func (s *ShuffleStore) TotalVolume() Volume {
+	return Volume{Records: s.totalRecords.Load(), Bytes: s.totalBytes.Load()}
 }
 
 // Put stores a map partition's output buckets with no provenance (the

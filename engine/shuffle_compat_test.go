@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+// The record-boxed Put/PutFrom/Fetch wrappers survive as the compat
+// surface over the chunk-native store (perf's contention scenario and
+// external callers use them); these tests pin their round-trip
+// semantics, including the reflective boxChunk path that flattens
+// typed chunks back into boxed records.
+
+func TestPutFetchRoundTrip(t *testing.T) {
+	s := NewShuffleStore()
+	id := s.Register(2, 3)
+	for m := 0; m < 2; m++ {
+		buckets := make([][]any, 3)
+		for r := range buckets {
+			buckets[r] = []any{m*10 + r, m*10 + r + 100}
+		}
+		if err := s.Put(id, m, buckets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		parts, err := s.Fetch(id, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != 2 {
+			t.Fatalf("reduce %d: got %d map parts, want 2", r, len(parts))
+		}
+		for m, vals := range parts {
+			want := []any{m*10 + r, m*10 + r + 100}
+			if len(vals) != 2 || vals[0] != want[0] || vals[1] != want[1] {
+				t.Fatalf("reduce %d map %d: got %v, want %v", r, m, vals, want)
+			}
+		}
+	}
+}
+
+func TestFetchBoxesTypedChunks(t *testing.T) {
+	s := NewShuffleStore()
+	id := s.Register(1, 2)
+	// Typed chunks through the native path; Fetch must flatten them
+	// reflectively (boxChunk) into boxed records.
+	if err := s.PutChunksFrom(id, 0, -1, []any{[]int64{7, 8}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := s.Fetch(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || len(parts[0]) != 2 ||
+		parts[0][0] != int64(7) || parts[0][1] != int64(8) {
+		t.Fatalf("boxed fetch = %v", parts)
+	}
+	// The empty bucket boxes to nil, not a panic.
+	parts, err = s.Fetch(id, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0] != nil {
+		t.Fatalf("empty bucket boxed to %v", parts)
+	}
+}
+
+func TestFetchChunksReturnsPutBucketsAsStored(t *testing.T) {
+	s := NewShuffleStore()
+	id := s.Register(1, 2)
+	if err := s.Put(id, 0, [][]any{{1, 2}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := s.FetchChunks(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := chunks[0].([]any)
+	if !ok || len(ch) != 2 {
+		t.Fatalf("chunk = %#v, want the []any bucket as stored", chunks[0])
+	}
+	chunks, err = s.FetchChunks(id, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks[0] != nil {
+		t.Fatalf("empty bucket stored as %#v, want nil", chunks[0])
+	}
+}
+
+func TestFetchMissingThroughCompatWrapper(t *testing.T) {
+	s := NewShuffleStore()
+	id := s.Register(2, 1)
+	if err := s.Put(id, 0, [][]any{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Fetch(id, 0)
+	var miss *MapOutputMissingError
+	if !errors.As(err, &miss) || miss.MapPart != 1 {
+		t.Fatalf("err = %v, want MapOutputMissingError for map part 1", err)
+	}
+}
+
+func TestShuffleVolumeAccounting(t *testing.T) {
+	s := NewShuffleStore()
+	id := s.Register(2, 2)
+	// Typed chunks: 3 int64 records = 24 bytes.
+	if err := s.PutChunksFrom(id, 0, 0, []any{[]int64{1, 2}, []int64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	v := s.ShuffleVolume(id)
+	if v.Records != 3 || v.Bytes != 24 {
+		t.Fatalf("volume after put = %+v, want 3 records / 24 bytes", v)
+	}
+	// Record-boxed buckets count one interface header (16B) per record.
+	if err := s.PutFrom(id, 1, 1, [][]any{{1}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	v = s.ShuffleVolume(id)
+	if v.Records != 4 || v.Bytes != 24+16 {
+		t.Fatalf("volume after boxed put = %+v", v)
+	}
+	// A re-put (task retry) is movement too: counters are cumulative.
+	if err := s.PutChunksFrom(id, 0, 2, []any{[]int64{1, 2}, []int64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	v = s.ShuffleVolume(id)
+	if v.Records != 7 || v.Bytes != 48+16 {
+		t.Fatalf("volume after re-put = %+v, want cumulative movement", v)
+	}
+	// Store totals mirror the shuffle counters and survive Drop.
+	if tv := s.TotalVolume(); tv != v {
+		t.Fatalf("total volume %+v != shuffle volume %+v", tv, v)
+	}
+	s.Drop(id)
+	if tv := s.TotalVolume(); tv.Records != 7 {
+		t.Fatalf("total volume lost on Drop: %+v", tv)
+	}
+	if v := s.ShuffleVolume(id); v.Records != 0 {
+		t.Fatalf("dropped shuffle reports volume %+v", v)
+	}
+}

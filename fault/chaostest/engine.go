@@ -1,0 +1,183 @@
+package chaostest
+
+import (
+	"fmt"
+	"strings"
+
+	"hpcmr/engine"
+	"hpcmr/fault"
+	"hpcmr/rdd"
+)
+
+// EngineConfig describes the real-runtime chaos trial: a keyed-sum
+// ReduceByKey job with map-side combining enabled, run on the engine
+// (not the simulator) under an injected fault plan. The job's golden
+// result is computed analytically, so a combined chunk that is
+// delivered twice or lost during lineage recovery shows up as a wrong
+// sum — the sharpest no-duplicate-completion detector the combined
+// data path admits.
+type EngineConfig struct {
+	// Executors is the engine pool size (default 4).
+	Executors int
+	// CoresPerExecutor defaults to 2.
+	CoresPerExecutor int
+	// Records is the input size (default 4000).
+	Records int64
+	// Keys is the key cardinality (default 64).
+	Keys int64
+	// Parts is the map-side partition count (default 8).
+	Parts int
+	// ReduceParts is the reduce-side partition count (default 4).
+	ReduceParts int
+	// Horizon is the fault-trigger window in seconds. Engine jobs run
+	// in milliseconds, so the default is 0.05 — the simulator's 60 s
+	// default would push every time-triggered fault past job end.
+	Horizon float64
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Executors <= 0 {
+		c.Executors = 4
+	}
+	if c.CoresPerExecutor <= 0 {
+		c.CoresPerExecutor = 2
+	}
+	if c.Records <= 0 {
+		c.Records = 4000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64
+	}
+	if c.Parts <= 0 {
+		c.Parts = 8
+	}
+	if c.ReduceParts <= 0 {
+		c.ReduceParts = 4
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 0.05
+	}
+	return c
+}
+
+// goldenSums computes the job's expected result analytically: key k
+// sums every i < Records with i % Keys == k.
+func (c EngineConfig) goldenSums() map[int64]int64 {
+	golden := make(map[int64]int64, c.Keys)
+	for i := int64(0); i < c.Records; i++ {
+		golden[i%c.Keys] += i
+	}
+	return golden
+}
+
+// EngineReport is the outcome of one engine chaos trial.
+type EngineReport struct {
+	Plan fault.Plan
+	// Violations lists every invariant breach; empty means the trial
+	// passed.
+	Violations []string
+	// ShuffleRecords/ShuffleBytes are the cumulative combined-path
+	// volume the run moved (including re-puts from recovery).
+	ShuffleRecords int64
+	ShuffleBytes   float64
+	// AliveExecutors is the pool size left after the plan's crashes.
+	AliveExecutors int
+}
+
+// Failed reports whether the trial violated any invariant.
+func (r *EngineReport) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary formats the trial outcome as one line.
+func (r *EngineReport) Summary() string {
+	if !r.Failed() {
+		return fmt.Sprintf("ok: %d events, %d shuffle records (%.0f B), %d executors alive",
+			len(r.Plan.Events), r.ShuffleRecords, r.ShuffleBytes, r.AliveExecutors)
+	}
+	return fmt.Sprintf("FAIL: %d events, %d violations: %s",
+		len(r.Plan.Events), len(r.Violations), strings.Join(r.Violations, "; "))
+}
+
+// RunEngineSeed generates the plan for seed and runs one engine trial
+// with it. Crashes use completed-task-count triggers (the form that
+// replays identically regardless of wall-clock speed); transient
+// faults land inside the millisecond-scale Horizon.
+func RunEngineSeed(cfg EngineConfig, seed int64) (*EngineReport, error) {
+	cfg = cfg.withDefaults()
+	plan := fault.Generate(seed, fault.GenConfig{
+		Nodes:   cfg.Executors,
+		Tasks:   cfg.Parts,
+		Horizon: cfg.Horizon,
+	})
+	return RunEnginePlan(cfg, plan)
+}
+
+// RunEnginePlan runs the keyed-sum job on a fresh engine under plan
+// and checks the invariants: the job completes, the collected sums
+// equal the analytic golden exactly (any duplicated or lost combined
+// chunk corrupts a sum), and the shuffle-volume accounting is
+// consistent (bytes = records x pair size, cumulative across
+// recovery re-puts). The returned error covers only setup problems;
+// job failures under faults are reported as violations.
+func RunEnginePlan(cfg EngineConfig, plan fault.Plan) (*EngineReport, error) {
+	cfg = cfg.withDefaults()
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("chaostest: invalid plan: %w", err)
+	}
+	rep := &EngineReport{Plan: plan}
+
+	ctx, err := rdd.NewContext(engine.Config{
+		Executors:        cfg.Executors,
+		CoresPerExecutor: cfg.CoresPerExecutor,
+		MaxTaskFailures:  8,
+		MaxFetchRetries:  5,
+		Faults:           fault.NewInjector(plan),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Stop()
+
+	keys := cfg.Keys
+	pairs := rdd.KeyBy(rdd.Range(ctx, 0, cfg.Records, cfg.Parts), func(i int64) int64 {
+		return i % keys
+	})
+	sums, err := rdd.CollectAsMap(rdd.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, cfg.ReduceParts))
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("job failed under faults: %v", err))
+		return rep, nil
+	}
+
+	golden := cfg.goldenSums()
+	if len(sums) != len(golden) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"%d result keys, golden has %d", len(sums), len(golden)))
+	}
+	wrong := 0
+	for k, want := range golden {
+		if got, ok := sums[k]; !ok || got != want {
+			wrong++
+			if wrong <= 3 {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"sum[%d] = %d, golden = %d (duplicated or lost combined chunk)", k, sums[k], want))
+			}
+		}
+	}
+	if wrong > 3 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("(%d more wrong sums)", wrong-3))
+	}
+
+	m := ctx.Runtime().Metrics()
+	rep.ShuffleRecords = m.ShuffleRecords()
+	rep.ShuffleBytes = m.ShuffleBytes()
+	rep.AliveExecutors = ctx.Runtime().AliveExecutors()
+	// Pair[int64, int64] is 16 bytes; the accounting must agree exactly,
+	// re-puts included.
+	if rep.ShuffleRecords < keys || rep.ShuffleBytes != float64(rep.ShuffleRecords)*16 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"shuffle volume inconsistent: %d records, %.0f bytes", rep.ShuffleRecords, rep.ShuffleBytes))
+	}
+	if rep.AliveExecutors < 1 {
+		rep.Violations = append(rep.Violations, "no executors alive after plan")
+	}
+	return rep, nil
+}

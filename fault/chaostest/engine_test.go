@@ -1,0 +1,63 @@
+package chaostest
+
+import (
+	"testing"
+
+	"hpcmr/fault"
+)
+
+// TestEngineSeedSweep is the in-repo slice of the CI engine sweep:
+// seeded fault plans (count-triggered crashes, fetch loss, task
+// failures, hangs, slow windows) against the real runtime with
+// map-side combining on, judged by exact golden sums.
+func TestEngineSeedSweep(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		rep, err := RunEngineSeed(EngineConfig{}, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d %s", seed, rep.Summary())
+		}
+	}
+}
+
+// TestEngineCrashAtHalfMaps pins the deterministic headline trial: an
+// executor crashes once half the map tasks have completed, lineage
+// recovery re-runs the combiner for the lost partitions, and the sums
+// still match the golden exactly.
+func TestEngineCrashAtHalfMaps(t *testing.T) {
+	cfg := EngineConfig{}.withDefaults()
+	plan := fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindCrash, Node: 1, AfterTasks: cfg.Parts / 2},
+	}}
+	rep, err := RunEnginePlan(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("%s", rep.Summary())
+	}
+	if rep.AliveExecutors != cfg.Executors-1 {
+		t.Fatalf("AliveExecutors = %d, want %d (crash must have fired)",
+			rep.AliveExecutors, cfg.Executors-1)
+	}
+	// Recovery re-put the lost partitions: cumulative volume exceeds
+	// the fault-free minimum of one combined record per (part, key).
+	if min := int64(cfg.Keys); rep.ShuffleRecords <= min {
+		t.Fatalf("shuffle records = %d, want > %d (re-puts counted)", rep.ShuffleRecords, min)
+	}
+}
+
+// TestEnginePlanValidation: a malformed plan is a setup error, not a
+// violation.
+func TestEnginePlanValidation(t *testing.T) {
+	bad := fault.Plan{Events: []fault.Event{{Kind: "nonsense"}}}
+	if _, err := RunEnginePlan(EngineConfig{}, bad); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

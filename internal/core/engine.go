@@ -351,7 +351,9 @@ func (e *Engine) runShufflePhase(spec JobSpec, pol Policies, files []*lustre.Fil
 				// changes no event timing, only observes it.
 				fs, inner := e.C.Sim.Now(), fetchDone
 				fetchDone = func() {
-					e.Tracer.FetchSpan(stageName, id, m, dst, fs, e.C.Sim.Now()-fs, size)
+					// The simulator models volumes in bytes only; record
+					// counts (0 = unknown) come from the real engine.
+					e.Tracer.FetchSpan(stageName, id, m, dst, fs, e.C.Sim.Now()-fs, size, 0)
 					inner()
 				}
 			}

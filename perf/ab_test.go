@@ -1,0 +1,51 @@
+package perf
+
+import (
+	"testing"
+)
+
+// TestMapSideCombineABGate is the acceptance A/B for map-side
+// combining: the low-cardinality aggregation scenario run with the
+// combiner enabled must move at least 5x fewer shuffle records than
+// the combine-disabled twin, and be faster by a statistically
+// significant margin (Mann-Whitney, p < 0.05). With 100k records over
+// 128 keys the combined path moves ~2k records where the disabled
+// path moves all 100k, so both margins are decisive, not marginal.
+func TestMapSideCombineABGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full A/B measurement in -short")
+	}
+	run := func(name string) *ScenarioResult {
+		scens, err := Select(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunScenarios(scens, RunOptions{Short: true, Reps: 9, Warmup: 2}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Scenario(name)
+	}
+	combined := run("engine/agg-lowcard")
+	disabled := run("engine/agg-lowcard-nocombine")
+
+	combRecs := combined.Extra["shuffle_records_moved"]
+	plainRecs := disabled.Extra["shuffle_records_moved"]
+	if combRecs <= 0 || plainRecs <= 0 {
+		t.Fatalf("missing shuffle_records_moved: combined=%v disabled=%v",
+			combined.Extra, disabled.Extra)
+	}
+	if plainRecs < 5*combRecs {
+		t.Fatalf("shuffle reduction %.1fx, want >= 5x (combined %.0f vs disabled %.0f records)",
+			plainRecs/combRecs, combRecs, plainRecs)
+	}
+	if cb, pb := combined.Extra["shuffle_bytes_moved"], disabled.Extra["shuffle_bytes_moved"]; cb >= pb {
+		t.Fatalf("combined shuffle bytes %.0f not below disabled %.0f", cb, pb)
+	}
+
+	p := MannWhitneyU(combined.SamplesNs, disabled.SamplesNs)
+	if combined.Stats.MedianNs >= disabled.Stats.MedianNs || p >= 0.05 {
+		t.Fatalf("combined not significantly faster: median %.2fms vs %.2fms, p=%.4f",
+			combined.Stats.MedianNs/1e6, disabled.Stats.MedianNs/1e6, p)
+	}
+}

@@ -23,7 +23,23 @@ type Thresholds struct {
 	// over the raw per-repetition malloc counts, and is skipped when
 	// either report predates SamplesAllocs.
 	AllocDelta float64
+	// ExtraDelta is the relative growth of a gated Extra that fails the
+	// gate (default 0.10 = 10%). Gated extras are deterministic volume
+	// counters (shuffle records/bytes moved), so they are judged on the
+	// delta alone — no significance test, no samples.
+	ExtraDelta float64
+	// GatedExtras lists the Extras keys judged with ExtraDelta. nil
+	// means DefaultGatedExtras; an explicit empty slice disables extras
+	// gating. Keys absent from either side of a scenario are skipped
+	// (most scenarios don't move shuffle data).
+	GatedExtras []string
 }
+
+// DefaultGatedExtras are the shuffle-volume dimensions the perf gate
+// judges by default: the record and byte movement that map-side
+// combining exists to shrink, and that a combiner regression would
+// silently re-inflate.
+var DefaultGatedExtras = []string{"shuffle_records_moved", "shuffle_bytes_moved"}
 
 func (t Thresholds) withDefaults() Thresholds {
 	if t.MedianDelta <= 0 {
@@ -34,6 +50,12 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.AllocDelta <= 0 {
 		t.AllocDelta = 0.10
+	}
+	if t.ExtraDelta <= 0 {
+		t.ExtraDelta = 0.10
+	}
+	if t.GatedExtras == nil {
+		t.GatedExtras = DefaultGatedExtras
 	}
 	return t
 }
@@ -64,6 +86,22 @@ type Verdict struct {
 	CurAllocs   float64 `json:"cur_allocs,omitempty"`
 	AllocDelta  float64 `json:"alloc_delta,omitempty"`
 	AllocP      float64 `json:"alloc_p,omitempty"`
+	// Extras holds the gated-extra judgements for keys both sides
+	// report (empty for most scenarios).
+	Extras []ExtraVerdict `json:"extras,omitempty"`
+}
+
+// ExtraVerdict is the judgement of one gated Extra of one scenario.
+type ExtraVerdict struct {
+	Key  string  `json:"key"`
+	Base float64 `json:"base"`
+	Cur  float64 `json:"cur"`
+	// Delta is (cur-base)/max(base, 1): relative growth, with a zero
+	// baseline judged against 1 so the value stays finite (these are
+	// record/byte counters, so 1 is the smallest meaningful base).
+	Delta float64 `json:"delta"`
+	// Status is ok, regression, or improvement.
+	Status string `json:"status"`
 }
 
 // Comparison is the full baseline-vs-current judgement.
@@ -103,10 +141,31 @@ func Compare(base, cur *Report, th Thresholds) *Comparison {
 				allocReg = allocSig && v.AllocDelta > th.AllocDelta
 				allocImp = allocSig && v.AllocDelta < -th.AllocDelta
 			}
+			var extraReg, extraImp bool
+			for _, key := range th.GatedExtras {
+				bv, bok := b.Extra[key]
+				cv, cok := s.Extra[key]
+				if !bok || !cok {
+					continue
+				}
+				ev := ExtraVerdict{Key: key, Base: bv, Cur: cv}
+				ev.Delta = (cv - bv) / max(bv, 1)
+				switch {
+				case ev.Delta > th.ExtraDelta:
+					ev.Status = StatusRegression
+					extraReg = true
+				case ev.Delta < -th.ExtraDelta:
+					ev.Status = StatusImprovement
+					extraImp = true
+				default:
+					ev.Status = StatusOK
+				}
+				v.Extras = append(v.Extras, ev)
+			}
 			switch {
-			case wallReg || allocReg:
+			case wallReg || allocReg || extraReg:
 				v.Status = StatusRegression
-			case wallImp || allocImp:
+			case wallImp || allocImp || extraImp:
 				v.Status = StatusImprovement
 			default:
 				v.Status = StatusOK
@@ -153,9 +212,14 @@ func (c *Comparison) Table() string {
 		fmt.Fprintf(&b, "%-36s %12s %12s %7.1f%% %8.4f %9s %8s  %s%s\n",
 			v.Name, fmtNs(v.BaseMedianNs), fmtNs(v.CurMedianNs), v.Delta*100, v.P,
 			allocs, allocP, v.Status, mark)
+		for _, ev := range v.Extras {
+			fmt.Fprintf(&b, "  %-34s %12.0f %12.0f %7.1f%%                              %s\n",
+				ev.Key, ev.Base, ev.Cur, ev.Delta*100, ev.Status)
+		}
 	}
-	fmt.Fprintf(&b, "(gate: wall median delta > %.0f%% or alloc median delta > %.0f%%, each AND Mann-Whitney p < %.2g; missing scenarios fail)\n",
-		c.Thresholds.MedianDelta*100, c.Thresholds.AllocDelta*100, c.Thresholds.Alpha)
+	fmt.Fprintf(&b, "(gate: wall median delta > %.0f%% or alloc median delta > %.0f%%, each AND Mann-Whitney p < %.2g; gated extras delta > %.0f%%; missing scenarios fail)\n",
+		c.Thresholds.MedianDelta*100, c.Thresholds.AllocDelta*100, c.Thresholds.Alpha,
+		c.Thresholds.ExtraDelta*100)
 	return b.String()
 }
 

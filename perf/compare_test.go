@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -255,5 +256,106 @@ func TestCommittedBaselineGate(t *testing.T) {
 		if v.Status != StatusRegression {
 			t.Errorf("%s status = %s, want regression", v.Name, v.Status)
 		}
+	}
+}
+
+// reportWithExtras builds a report whose scenarios carry Extras
+// alongside wall samples.
+func reportWithExtras(t *testing.T, scens map[string]Extras) *Report {
+	t.Helper()
+	r := &Report{SchemaVersion: SchemaVersion, Env: Fingerprint(), Options: RunOptions{Reps: 5, Warmup: 1}}
+	for name, ex := range scens {
+		r.Scenarios = append(r.Scenarios, ScenarioResult{
+			Name: name, Reps: len(baseSamples), Warmup: 1,
+			SamplesNs: baseSamples, Stats: Summarize(baseSamples), Extra: ex,
+		})
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fixture report invalid: %v", err)
+	}
+	return r
+}
+
+func TestCompareExtraRegressionFails(t *testing.T) {
+	// Wall time identical, shuffle volume doubled: the extras dimension
+	// alone must trip the gate — a combiner regression shows up here
+	// long before it shows up in wall time on a small benchmark box.
+	base := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 2048, "shuffle_bytes_moved": 32768}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 4096, "shuffle_bytes_moved": 32768}})
+	cmp := Compare(base, cur, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatalf("2x shuffle-record growth not flagged:\n%s", cmp.Table())
+	}
+	v := cmp.Verdicts[0]
+	if v.Status != StatusRegression {
+		t.Errorf("status = %s, want regression", v.Status)
+	}
+	if len(v.Extras) != 2 {
+		t.Fatalf("extras judged = %v, want both gated keys", v.Extras)
+	}
+	byKey := map[string]ExtraVerdict{}
+	for _, ev := range v.Extras {
+		byKey[ev.Key] = ev
+	}
+	if ev := byKey["shuffle_records_moved"]; ev.Status != StatusRegression || ev.Delta < 0.9 || ev.Delta > 1.1 {
+		t.Errorf("records verdict = %+v, want regression at ~+100%%", ev)
+	}
+	if ev := byKey["shuffle_bytes_moved"]; ev.Status != StatusOK {
+		t.Errorf("unchanged bytes verdict = %+v, want ok", ev)
+	}
+	if !strings.Contains(cmp.Table(), "shuffle_records_moved") {
+		t.Errorf("table does not show the extra verdict:\n%s", cmp.Table())
+	}
+}
+
+func TestCompareExtraImprovementReported(t *testing.T) {
+	base := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 100000}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 2048}})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("shuffle-volume improvement regressed:\n%s", cmp.Table())
+	}
+	if cmp.Verdicts[0].Status != StatusImprovement {
+		t.Errorf("status = %s, want improvement", cmp.Verdicts[0].Status)
+	}
+}
+
+func TestCompareExtraSkippedWhenAbsent(t *testing.T) {
+	// Ungated keys and keys missing on either side are not judged: a
+	// scenario that never reports shuffle volume (or a baseline written
+	// before the extra existed) must not fail the gate.
+	base := reportWithExtras(t, map[string]Extras{"a": {"trials": 25}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"trials": 500, "shuffle_records_moved": 9999}})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("absent/ungated extras tripped the gate:\n%s", cmp.Table())
+	}
+	if n := len(cmp.Verdicts[0].Extras); n != 0 {
+		t.Errorf("%d extras judged, want 0", n)
+	}
+}
+
+func TestCompareExtrasGateDisabled(t *testing.T) {
+	// An explicit empty GatedExtras disables the dimension entirely.
+	base := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 100}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 100000}})
+	cmp := Compare(base, cur, Thresholds{GatedExtras: []string{}})
+	if cmp.Regressed() {
+		t.Fatalf("disabled extras gate still judged:\n%s", cmp.Table())
+	}
+}
+
+func TestCompareExtraZeroBaselineStaysFinite(t *testing.T) {
+	// A zero baseline is judged against max(base,1), so the delta (and
+	// the JSON encoding of the comparison) stays finite.
+	base := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 0}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 50}})
+	cmp := Compare(base, cur, Thresholds{})
+	ev := cmp.Verdicts[0].Extras[0]
+	if ev.Delta != 50 || ev.Status != StatusRegression {
+		t.Errorf("zero-baseline verdict = %+v, want finite delta 50 and regression", ev)
+	}
+	if _, err := json.Marshal(cmp); err != nil {
+		t.Fatalf("comparison does not marshal: %v", err)
 	}
 }

@@ -77,6 +77,26 @@ func init() {
 		Run:  runShuffleStoreContention,
 	})
 	mustRegister(Scenario{
+		Name: "engine/agg-lowcard",
+		Desc: "aggregation over few keys with the map-side combiner (one record per key per map task shuffled)",
+		Run:  func(sc Scale) (Extras, error) { return runAgg(sc, aggLowCard, false) },
+	})
+	mustRegister(Scenario{
+		Name: "engine/agg-lowcard-nocombine",
+		Desc: "the same low-cardinality aggregation with map-side combining disabled (A/B baseline)",
+		Run:  func(sc Scale) (Extras, error) { return runAgg(sc, aggLowCard, true) },
+	})
+	mustRegister(Scenario{
+		Name: "engine/agg-highcard",
+		Desc: "aggregation over all-distinct keys with the combiner on — where map-side combining cannot win",
+		Run:  func(sc Scale) (Extras, error) { return runAgg(sc, aggDistinct, false) },
+	})
+	mustRegister(Scenario{
+		Name: "engine/agg-highcard-nocombine",
+		Desc: "the all-distinct-keys aggregation with combining disabled (overhead denominator)",
+		Run:  func(sc Scale) (Extras, error) { return runAgg(sc, aggDistinct, true) },
+	})
+	mustRegister(Scenario{
 		Name: "trace/capture",
 		Desc: "the many-short-tasks workload with full trace capture (overhead numerator)",
 		Run: func(sc Scale) (Extras, error) {
@@ -150,9 +170,62 @@ func runShuffleHeavy(sc Scale) (Extras, error) {
 	if cnt != 4096 {
 		return nil, fmt.Errorf("shuffle-heavy produced %d keys, want 4096", cnt)
 	}
+	m := ctx.Runtime().Metrics()
 	return Extras{
-		"records":       float64(n),
-		"shuffle_bytes": ctx.Runtime().Metrics().ShuffleBytes(),
+		"records":               float64(n),
+		"shuffle_records_moved": float64(m.ShuffleRecords()),
+		"shuffle_bytes_moved":   m.ShuffleBytes(),
+	}, nil
+}
+
+// Key cardinalities for the engine/agg-* scenarios: aggLowCard is the
+// combiner's best case (each map task collapses thousands of records to
+// at most 128), aggDistinct its worst (the hash-aggregation pass runs
+// but nothing merges).
+const (
+	aggLowCard  = 128
+	aggDistinct = 0 // sentinel: every record its own key
+)
+
+// runAgg is the shared body of the engine/agg-* scenarios: a keyed sum
+// on the real engine with map-side combining on or off, exporting the
+// shuffle volume the run actually moved so the perf gate can judge
+// movement alongside wall time and allocations.
+func runAgg(sc Scale, cardinality int64, disableCombine bool) (Extras, error) {
+	n, parts, reduceParts := int64(400_000), 16, 32
+	if sc.Short {
+		n = 100_000
+	}
+	wantKeys := cardinality
+	if cardinality == aggDistinct {
+		wantKeys = n
+	}
+	ctx, err := rdd.NewContextWithOptions(
+		engine.Config{Executors: 4, CoresPerExecutor: 2},
+		rdd.Options{DisableMapSideCombine: disableCombine})
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Stop()
+	pairs := rdd.KeyBy(rdd.Range(ctx, 0, n, parts), func(i int64) int64 {
+		if cardinality == aggDistinct {
+			return i
+		}
+		return i % cardinality
+	})
+	reduced := rdd.ReduceByKey(pairs, func(a, b int64) int64 { return a + b }, reduceParts)
+	cnt, err := reduced.Count()
+	if err != nil {
+		return nil, err
+	}
+	if cnt != wantKeys {
+		return nil, fmt.Errorf("aggregation produced %d keys, want %d", cnt, wantKeys)
+	}
+	m := ctx.Runtime().Metrics()
+	return Extras{
+		"records":               float64(n),
+		"shuffle_records_moved": float64(m.ShuffleRecords()),
+		"shuffle_bytes_moved":   m.ShuffleBytes(),
 	}, nil
 }
 

@@ -142,18 +142,14 @@ func CountByValue[T comparable](r *RDD[T]) (map[T]int64, error) {
 	return out, err
 }
 
-// CountByKey returns the number of pairs per key.
+// CountByKey returns the number of pairs per key. Counting routes
+// through ReduceByKey so the map-side combiner collapses each key to
+// one partial count per map partition before the shuffle, instead of
+// dragging every pair to the driver.
 func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
-	out := make(map[K]int64)
-	err := r.n.runJob("countByKey", func(_ int, chunks []any) error {
-		for _, ch := range chunks {
-			for _, p := range asChunk[Pair[K, V]](ch) {
-				out[p.Key]++
-			}
-		}
-		return nil
-	})
-	return out, err
+	ones := MapValues(r, func(V) int64 { return 1 })
+	counts := ReduceByKey(ones, func(a, b int64) int64 { return a + b }, 0)
+	return CollectAsMap(counts)
 }
 
 // CollectAsMap returns pair elements as a map (later pairs win on

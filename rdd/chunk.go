@@ -1,5 +1,7 @@
 package rdd
 
+import "reflect"
+
 // The rdd data path flows *chunks*, not records: a chunk is a typed
 // slice ([]T) boxed in a single interface value, produced by a source or
 // transformation for one run of records and delivered whole to the next
@@ -29,6 +31,15 @@ func chunkRecords[E any](chunks []any) int {
 		n += len(asChunk[E](ch))
 	}
 	return n
+}
+
+// elemBytes is the in-memory size of one E record — the factor shuffle
+// writers use to turn record counts into approximate bytes moved.
+// Indirect payloads (strings, slices) count only their headers, which
+// matches what the shuffle itself materializes: chunks alias payload
+// data, they do not copy it.
+func elemBytes[E any]() int64 {
+	return int64(reflect.TypeOf((*E)(nil)).Elem().Size())
 }
 
 // flattenChunks concatenates chunks into one exactly-sized slice.

@@ -96,9 +96,11 @@ func (c *Context) shuffleMapTasks(d *shuffleDep, id int, parts []int) []engine.T
 				if err := parent.iterate(p, tc, func(ch any) { chunks = append(chunks, ch) }); err != nil {
 					return err
 				}
-				buckets, records := d.write(chunks)
-				// A coarse volume proxy feeds the load balancer.
-				tc.AddShuffleBytes(float64(records) * 48)
+				buckets, records, bytes := d.write(chunks)
+				// The writer's volume feeds the load balancer and the
+				// runtime's shuffle-movement metrics.
+				tc.AddShuffleRecords(int64(records))
+				tc.AddShuffleBytes(float64(bytes))
 				return c.rt.Shuffle().PutChunksFrom(id, p, tc.Executor, buckets)
 			},
 		}

@@ -37,7 +37,7 @@ func bucketFor[K comparable](c *Context, k K, parts int) int {
 // counting), pass two presizes every bucket exactly and fills. Map
 // output is built with O(buckets) allocations instead of O(records) —
 // no bucket regrowth, no per-record boxing.
-func countedWriter[E any](chunks []any, parts int, place func(E) int) ([]any, int) {
+func countedWriter[E any](chunks []any, parts int, place func(E) int) ([]any, int, int64) {
 	total := chunkRecords[E](chunks)
 	counts := make([]int, parts)
 	assign := make([]int32, total)
@@ -64,13 +64,81 @@ func countedWriter[E any](chunks []any, parts int, place func(E) int) ([]any, in
 			i++
 		}
 	}
-	return boxBuckets(buckets), total
+	return boxBuckets(buckets), total, int64(total) * elemBytes[E]()
 }
 
 // hashWriter partitions Pair[K,V] chunks by key hash.
-func hashWriter[K comparable, V any](c *Context, parts int) func([]any) ([]any, int) {
-	return func(chunks []any) ([]any, int) {
+func hashWriter[K comparable, V any](c *Context, parts int) func([]any) ([]any, int, int64) {
+	return func(chunks []any) ([]any, int, int64) {
 		return countedWriter(chunks, parts, func(p Pair[K, V]) int {
+			return bucketFor(c, p.Key, parts)
+		})
+	}
+}
+
+// combiningWriter is the hash-aggregating map-side writer behind
+// CombineByKey: one pass folds every record into its key's accumulator,
+// computing the key's reduce bucket once — when first seen — and
+// counting it toward that bucket. A second pass over the distinct keys
+// (not the input records) fills exactly presized buckets, so the shuffle
+// carries one Pair[K,C] per (key, map partition) instead of one record
+// per input pair. Key order within a bucket is first-seen order, keeping
+// output deterministic for a given input ordering — lineage re-execution
+// reproduces combined chunks bit for bit.
+func combiningWriter[K comparable, V, C any](c *Context, parts int,
+	createCombiner func(V) C, mergeValue func(C, V) C) func([]any) ([]any, int, int64) {
+	return func(chunks []any) ([]any, int, int64) {
+		total := chunkRecords[Pair[K, V]](chunks)
+		idx := make(map[K]int, total)
+		order := make([]K, 0, total)
+		accs := make([]C, 0, total)
+		assign := make([]int32, 0, total)
+		counts := make([]int, parts)
+		for _, ch := range chunks {
+			for _, p := range asChunk[Pair[K, V]](ch) {
+				i, ok := idx[p.Key]
+				if !ok {
+					b := bucketFor(c, p.Key, parts)
+					idx[p.Key] = len(order)
+					order = append(order, p.Key)
+					accs = append(accs, createCombiner(p.Value))
+					assign = append(assign, int32(b))
+					counts[b]++
+					continue
+				}
+				accs[i] = mergeValue(accs[i], p.Value)
+			}
+		}
+		buckets := make([][]Pair[K, C], parts)
+		for b, n := range counts {
+			if n > 0 {
+				buckets[b] = make([]Pair[K, C], 0, n)
+			}
+		}
+		for i, k := range order {
+			b := assign[i]
+			buckets[b] = append(buckets[b], Pair[K, C]{Key: k, Value: accs[i]})
+		}
+		n := len(order)
+		return boxBuckets(buckets), n, int64(n) * elemBytes[Pair[K, C]]()
+	}
+}
+
+// seedingWriter is the combine-disabled counterpart of combiningWriter:
+// every input record becomes one seeded single-value combiner and ships
+// as-is, leaving all merging to the reduce side. Used when the context
+// was built with DisableMapSideCombine — the A/B baseline that measures
+// what map-side aggregation saves.
+func seedingWriter[K comparable, V, C any](c *Context, parts int,
+	createCombiner func(V) C) func([]any) ([]any, int, int64) {
+	return func(chunks []any) ([]any, int, int64) {
+		seeded := make([]Pair[K, C], 0, chunkRecords[Pair[K, V]](chunks))
+		for _, ch := range chunks {
+			for _, p := range asChunk[Pair[K, V]](ch) {
+				seeded = append(seeded, Pair[K, C]{Key: p.Key, Value: createCombiner(p.Value)})
+			}
+		}
+		return countedWriter([]any{seeded}, parts, func(p Pair[K, C]) int {
 			return bucketFor(c, p.Key, parts)
 		})
 	}
@@ -136,37 +204,11 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], parts int,
 	createCombiner func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C) *RDD[Pair[K, C]] {
 	c := r.n.ctx
 	parts = defaultParts(r.n, parts)
-	dep := &shuffleDep{
-		parent:      r.n,
-		reduceParts: parts,
-		write: func(chunks []any) ([]any, int) {
-			// Map-side combine into per-key accumulators, then bucket
-			// the combined pairs with the counted two-pass writer.
-			total := chunkRecords[Pair[K, V]](chunks)
-			idx := make(map[K]int, total)
-			order := make([]K, 0, total)
-			accs := make([]C, 0, total)
-			for _, ch := range chunks {
-				for _, p := range asChunk[Pair[K, V]](ch) {
-					i, ok := idx[p.Key]
-					if !ok {
-						idx[p.Key] = len(order)
-						order = append(order, p.Key)
-						accs = append(accs, createCombiner(p.Value))
-						continue
-					}
-					accs[i] = mergeValue(accs[i], p.Value)
-				}
-			}
-			combined := make([]Pair[K, C], len(order))
-			for i, k := range order {
-				combined[i] = Pair[K, C]{Key: k, Value: accs[i]}
-			}
-			return countedWriter([]any{combined}, parts, func(p Pair[K, C]) int {
-				return bucketFor(c, p.Key, parts)
-			})
-		},
+	write := combiningWriter[K](c, parts, createCombiner, mergeValue)
+	if c.opts.DisableMapSideCombine {
+		write = seedingWriter[K, V](c, parts, createCombiner)
 	}
+	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: write}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
 			chunks, err := c.rt.FetchShuffleChunks(tc, dep.engineID, part)
@@ -369,7 +411,7 @@ func SortByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], parts int, ascending bo
 	dep := &shuffleDep{
 		parent:      r.n,
 		reduceParts: parts,
-		write: func(chunks []any) ([]any, int) {
+		write: func(chunks []any) ([]any, int, int64) {
 			return countedWriter(chunks, parts, func(p Pair[K, V]) int {
 				return rangeOf(p.Key)
 			})

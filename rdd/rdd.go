@@ -26,10 +26,21 @@ import (
 	"hpcmr/engine"
 )
 
+// Options tunes a Context's execution strategy.
+type Options struct {
+	// DisableMapSideCombine turns off the hash-aggregating map-side
+	// combine pass of CombineByKey/ReduceByKey, shipping one shuffle
+	// record per input pair instead of one per distinct key. Results are
+	// identical either way; the switch exists for equivalence tests and
+	// for perf A/B scenarios that measure what the combiner saves.
+	DisableMapSideCombine bool
+}
+
 // Context owns a runtime and the lineage graph built on it.
 type Context struct {
 	rt   *engine.Runtime
 	seed maphash.Seed
+	opts Options
 
 	mu     sync.Mutex // serializes jobs and ID allocation
 	nextID int
@@ -40,11 +51,17 @@ type Context struct {
 
 // NewContext starts a context over a fresh runtime.
 func NewContext(cfg engine.Config) (*Context, error) {
+	return NewContextWithOptions(cfg, Options{})
+}
+
+// NewContextWithOptions starts a context over a fresh runtime with
+// explicit execution options.
+func NewContextWithOptions(cfg engine.Config, opts Options) (*Context, error) {
 	rt, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Context{rt: rt, seed: maphash.MakeSeed()}, nil
+	return &Context{rt: rt, seed: maphash.MakeSeed(), opts: opts}, nil
 }
 
 // Runtime exposes the underlying engine (metrics, configuration).
@@ -70,8 +87,10 @@ type shuffleDep struct {
 	// write partitions one map partition's chunks into exactly
 	// reduceParts bucket chunks (nil where empty; applying map-side
 	// combining when the operation supports it), also reporting how many
-	// records it bucketed — the load balancer's volume proxy.
-	write func(chunks []any) (buckets []any, records int)
+	// records it bucketed and their approximate in-memory bytes — the
+	// shuffle-volume accounting the task context and load balancer feed
+	// on.
+	write func(chunks []any) (buckets []any, records int, bytes int64)
 
 	mu           sync.Mutex
 	engineID     int

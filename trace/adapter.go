@@ -89,6 +89,19 @@ func (l *engineListener) OnTaskEnd(e engine.TaskEvent) {
 	if e.Failed {
 		detail = "failed"
 	}
-	l.t.TaskSpan(e.Stage, e.TaskID, e.Attempt, e.Executor,
-		l.t.Since(e.Start), e.Duration, e.ShuffleBytes, detail)
+	l.t.Emit(Event{
+		TS: l.t.Since(e.Start), Dur: e.Duration, Kind: Span, Cat: CatTask,
+		Name: "task", Node: e.Executor, Peer: -1, Stage: e.Stage,
+		Task: e.TaskID, Attempt: e.Attempt, Bytes: e.ShuffleBytes,
+		Records: float64(e.ShuffleRecords), Detail: detail,
+	})
+}
+
+// OnFetch records real-engine shuffle fetches as CatFetch spans. The
+// engine's in-memory shuffle has no per-mapper transfer granularity, so
+// the whole fetch is one span with the shuffle ID standing in for the
+// stage name and the source peer unknown (-1).
+func (l *engineListener) OnFetch(e engine.FetchEvent) {
+	l.t.FetchSpan(fmt.Sprintf("shuffle-%d", e.Shuffle), e.TaskID, -1, e.Executor,
+		l.t.Since(e.Start), e.Duration, e.Bytes, float64(e.Records))
 }

@@ -30,7 +30,7 @@ func BenchmarkEmitParallel(b *testing.B) {
 		node := 0
 		for pb.Next() {
 			node++
-			tr.FetchSpan("shuffle/0", 1, node&15, (node+1)&15, 1.0, 0.01, 1e6)
+			tr.FetchSpan("shuffle/0", 1, node&15, (node+1)&15, 1.0, 0.01, 1e6, 1024)
 		}
 	})
 }

@@ -35,6 +35,7 @@ type chromeArgs struct {
 	Task    *int    `json:"task,omitempty"`
 	Attempt int     `json:"attempt,omitempty"`
 	Bytes   float64 `json:"bytes,omitempty"`
+	Records float64 `json:"records,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
 }
 
@@ -84,7 +85,8 @@ func WriteChrome(w io.Writer, events []Event) error {
 			Tid:  tid(e.Node),
 		}
 		args := chromeArgs{
-			Stage: e.Stage, Attempt: e.Attempt, Bytes: e.Bytes, Detail: e.Detail,
+			Stage: e.Stage, Attempt: e.Attempt, Bytes: e.Bytes,
+			Records: e.Records, Detail: e.Detail,
 		}
 		if e.Task >= 0 || e.Cat == CatStage {
 			task := e.Task
@@ -144,6 +146,7 @@ func ReadChrome(r io.Reader) ([]Event, error) {
 			e.Stage = ce.Args.Stage
 			e.Attempt = ce.Args.Attempt
 			e.Bytes = ce.Args.Bytes
+			e.Records = ce.Args.Records
 			e.Detail = ce.Args.Detail
 			if ce.Args.Task != nil {
 				e.Task = *ce.Args.Task

@@ -23,6 +23,7 @@ type jsonEvent struct {
 	Task    int     `json:"task"`
 	Attempt int     `json:"attempt,omitempty"`
 	Bytes   float64 `json:"bytes,omitempty"`
+	Records float64 `json:"records,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
 }
 
@@ -30,7 +31,8 @@ func toWire(e Event) jsonEvent {
 	return jsonEvent{
 		TS: e.TS, Dur: e.Dur, Kind: e.Kind.String(), Cat: e.Cat.String(),
 		Name: e.Name, Node: e.Node, Peer: e.Peer, Stage: e.Stage,
-		Task: e.Task, Attempt: e.Attempt, Bytes: e.Bytes, Detail: e.Detail,
+		Task: e.Task, Attempt: e.Attempt, Bytes: e.Bytes, Records: e.Records,
+		Detail: e.Detail,
 	}
 }
 
@@ -42,7 +44,8 @@ func fromWire(j jsonEvent) Event {
 	return Event{
 		TS: j.TS, Dur: j.Dur, Kind: k, Cat: parseCategory(j.Cat),
 		Name: j.Name, Node: j.Node, Peer: j.Peer, Stage: j.Stage,
-		Task: j.Task, Attempt: j.Attempt, Bytes: j.Bytes, Detail: j.Detail,
+		Task: j.Task, Attempt: j.Attempt, Bytes: j.Bytes, Records: j.Records,
+		Detail: j.Detail,
 	}
 }
 

@@ -131,6 +131,11 @@ type Event struct {
 	// bytes deposited (tasks), bytes fetched (fetches), or the decision
 	// value (sched events: node load, in-flight limit, or wait seconds).
 	Bytes float64
+	// Records is the record count behind Bytes, where known (fetch
+	// spans; task spans of shuffle map stages). Zero means unknown —
+	// record counts only became a traced dimension with shuffle-volume
+	// accounting.
+	Records float64
 	// Detail is a free-form elaboration (failure notes, load snapshots).
 	Detail string
 }
@@ -262,13 +267,14 @@ func (t *Tracer) TaskSpan(stage string, task, attempt, node int, start, dur, byt
 		Bytes: bytes, Detail: detail})
 }
 
-// FetchSpan records one shuffle fetch of bytes from src into dst.
-func (t *Tracer) FetchSpan(stage string, task, src, dst int, start, dur, bytes float64) {
+// FetchSpan records one shuffle fetch of bytes (and, where counted,
+// records — pass 0 when unknown) from src into dst.
+func (t *Tracer) FetchSpan(stage string, task, src, dst int, start, dur, bytes, records float64) {
 	if t == nil {
 		return
 	}
 	t.Emit(Event{TS: start, Dur: dur, Kind: Span, Cat: CatFetch, Name: "fetch",
-		Node: dst, Peer: src, Stage: stage, Task: task, Bytes: bytes})
+		Node: dst, Peer: src, Stage: stage, Task: task, Bytes: bytes, Records: records})
 }
 
 // InstantEvent records a point event at the current clock reading.

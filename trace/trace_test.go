@@ -14,7 +14,7 @@ func TestNilTracerIsSafeAndFree(t *testing.T) {
 	}
 	tr.Emit(Event{})
 	tr.TaskSpan("s", 0, 0, 0, 0, 1, 0, "")
-	tr.FetchSpan("s", 0, 1, 2, 0, 1, 10)
+	tr.FetchSpan("s", 0, 1, 2, 0, 1, 10, 3)
 	tr.StageSpan("s", 4, 0, 1)
 	tr.JobSpan("j", 0, 1)
 	tr.InstantEvent(CatSched, "elb:pause", 0, 1, "")
@@ -31,7 +31,7 @@ func TestDisabledZeroAlloc(t *testing.T) {
 	var disabled *Tracer
 	if n := testing.AllocsPerRun(200, func() {
 		disabled.TaskSpan("stage", 3, 0, 2, 1.0, 0.5, 4096, "")
-		disabled.FetchSpan("stage", 3, 1, 2, 1.0, 0.5, 4096)
+		disabled.FetchSpan("stage", 3, 1, 2, 1.0, 0.5, 4096, 0)
 	}); n != 0 {
 		t.Fatalf("disabled tracer allocates %v per op on the hot path", n)
 	}

@@ -1,0 +1,331 @@
+// Command mrcluster manages a distributed driver–executor cluster on
+// this machine: a driver process (this one) plus N executor processes
+// talking over loopback TCP, with a network shuffle service between the
+// executors.
+//
+// Usage:
+//
+//	mrcluster up [-executors N] [-state FILE] [-logdir DIR]
+//	mrcluster run [-state FILE | -cluster ADDR] -job NAME [job flags]
+//	mrcluster down [-state FILE | -cluster ADDR]
+//	mrcluster chaos [-executors N] [-after-tasks K] [-logdir DIR]
+//	mrcluster executor -id N -driver ADDR            (internal)
+//
+// `up` runs the cluster in the foreground and writes a JSON state file
+// with the client address and executor PIDs; `run` and `down` find the
+// cluster through that file (or an explicit -cluster address). `chaos`
+// is a one-shot acceptance gate: it runs the keyed-sum job on a fresh
+// cluster twice — clean, then with one executor SIGKILLed mid-stage —
+// and exits non-zero unless lineage recovery makes the outputs
+// byte-identical and equal to the analytic golden sums.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"hpcmr/dist"
+	"hpcmr/fault"
+	"hpcmr/fault/chaostest"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: mrcluster up|run|down|chaos [flags]\n")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mrcluster: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// stateFile is how `run` and `down` find a cluster started by `up`.
+type stateFile struct {
+	ClientAddr  string `json:"clientAddr"`
+	ControlAddr string `json:"controlAddr"`
+	DriverPid   int    `json:"driverPid"`
+	ExecutorPid []int  `json:"executorPids"`
+}
+
+func defaultStatePath() string {
+	return os.TempDir() + "/mrcluster-state.json"
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mrcluster: "+format+"\n", args...)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "up":
+		up(args)
+	case "run":
+		run(args)
+	case "down":
+		down(args)
+	case "chaos":
+		chaos(args)
+	case "executor":
+		executor(args)
+	default:
+		usage()
+	}
+}
+
+// selfCommand spawns this binary back as `mrcluster executor`.
+func selfCommand() func(id int, driverAddr string) *exec.Cmd {
+	self, err := os.Executable()
+	if err != nil {
+		fatal("%v", err)
+	}
+	return func(id int, driverAddr string) *exec.Cmd {
+		return exec.Command(self, "executor", "-id", strconv.Itoa(id), "-driver", driverAddr)
+	}
+}
+
+// executor is the hidden subcommand the spawned processes run.
+func executor(args []string) {
+	fs := flag.NewFlagSet("executor", flag.ExitOnError)
+	id := fs.Int("id", -1, "executor ID")
+	driver := fs.String("driver", "", "driver control address")
+	fs.Parse(args)
+	if *id < 0 || *driver == "" {
+		fatal("executor needs -id and -driver")
+	}
+	e := dist.NewExecutor(dist.ExecutorConfig{ID: *id, DriverAddr: *driver, Logf: logf})
+	if err := e.Run(); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func up(args []string) {
+	fs := flag.NewFlagSet("up", flag.ExitOnError)
+	executors := fs.Int("executors", 3, "cluster size")
+	cores := fs.Int("cores", 2, "cores per executor")
+	statePath := fs.String("state", defaultStatePath(), "cluster state file")
+	logDir := fs.String("logdir", "", "executor log directory (default: temp)")
+	fs.Parse(args)
+
+	pc, err := dist.StartProc(dist.ProcConfig{
+		Executors:        *executors,
+		CoresPerExecutor: *cores,
+		Command:          selfCommand(),
+		LogDir:           *logDir,
+		Logf:             logf,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	st := stateFile{
+		ClientAddr:  pc.Driver.ClientAddr(),
+		ControlAddr: pc.Driver.ControlAddr(),
+		DriverPid:   os.Getpid(),
+		ExecutorPid: pc.Pids(),
+	}
+	data, _ := json.MarshalIndent(st, "", "  ")
+	if err := os.WriteFile(*statePath, append(data, '\n'), 0o644); err != nil {
+		pc.Close()
+		fatal("writing state file: %v", err)
+	}
+	logf("cluster up: %d executors, client %s, logs %s, state %s",
+		*executors, st.ClientAddr, pc.LogDir(), *statePath)
+	logf("submit with: mrcluster run -state %s -job keyed-sum", *statePath)
+
+	// Foreground until a signal or a client-initiated shutdown.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		logf("shutting down")
+	case <-pc.Driver.Done():
+		logf("cluster shut down by client")
+	}
+	pc.Close()
+	os.Remove(*statePath)
+}
+
+func clientAddr(statePath, cluster string) string {
+	if cluster != "" {
+		return cluster
+	}
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		fatal("no cluster: %v (start one with `mrcluster up`)", err)
+	}
+	var st stateFile
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatal("state file %s: %v", statePath, err)
+	}
+	return st.ClientAddr
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	statePath := fs.String("state", defaultStatePath(), "cluster state file")
+	cluster := fs.String("cluster", "", "driver client address (overrides -state)")
+	job := fs.String("job", "keyed-sum", "registered job name")
+	records := fs.Int64("records", 100_000, "keyed-sum: input records")
+	keys := fs.Int64("keys", 64, "keyed-sum: distinct keys")
+	path := fs.String("path", "", "wordcount: input file")
+	mapParts := fs.Int("map-parts", 0, "map partitions (0 = 2x executors)")
+	reduceParts := fs.Int("reduce-parts", 0, "reduce partitions (0 = executors)")
+	top := fs.Int("top", 20, "show the N heaviest keys")
+	fs.Parse(args)
+
+	addr := clientAddr(*statePath, *cluster)
+	spec := dist.JobSpec{
+		Job: *job, Records: *records, Keys: *keys, Path: *path,
+		MapParts: *mapParts, ReduceParts: *reduceParts,
+	}
+	out, err := dist.Submit(addr, spec)
+	if err != nil {
+		fatal("%v", err)
+	}
+	switch *job {
+	case "wordcount":
+		kvs, err := dist.DecodeSKVs(out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		printTopSKV(kvs, *top)
+	default:
+		kvs, err := dist.DecodeKVs(out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for i, kv := range kvs {
+			if i >= *top {
+				fmt.Printf("# ... %d more keys\n", len(kvs)-i)
+				break
+			}
+			fmt.Printf("%8d  %d\n", kv.V, kv.K)
+		}
+	}
+}
+
+func printTopSKV(kvs []dist.SKV, top int) {
+	// Heaviest first, ties by key, like mrrun's wordcount output.
+	for i := 0; i < len(kvs); i++ {
+		for j := i + 1; j < len(kvs); j++ {
+			if kvs[j].V > kvs[i].V || (kvs[j].V == kvs[i].V && kvs[j].K < kvs[i].K) {
+				kvs[i], kvs[j] = kvs[j], kvs[i]
+			}
+		}
+	}
+	for i, kv := range kvs {
+		if i >= top {
+			break
+		}
+		fmt.Printf("%8d  %s\n", kv.V, kv.K)
+	}
+	fmt.Printf("# %d distinct keys\n", len(kvs))
+}
+
+func down(args []string) {
+	fs := flag.NewFlagSet("down", flag.ExitOnError)
+	statePath := fs.String("state", defaultStatePath(), "cluster state file")
+	cluster := fs.String("cluster", "", "driver client address (overrides -state)")
+	fs.Parse(args)
+
+	addr := clientAddr(*statePath, *cluster)
+	if err := dist.ShutdownCluster(addr); err != nil {
+		// The driver may already be gone; fall back to the recorded PIDs.
+		logf("graceful shutdown failed (%v); killing recorded PIDs", err)
+		data, rerr := os.ReadFile(*statePath)
+		if rerr != nil {
+			fatal("%v", err)
+		}
+		var st stateFile
+		if json.Unmarshal(data, &st) == nil {
+			for _, pid := range append(st.ExecutorPid, st.DriverPid) {
+				if pid > 0 {
+					syscall.Kill(pid, syscall.SIGTERM)
+				}
+			}
+		}
+	}
+	os.Remove(*statePath)
+	logf("cluster down")
+}
+
+// chaos is the CI acceptance gate: clean run vs. run-with-SIGKILL must
+// be byte-identical and match the analytic golden sums.
+func chaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	executors := fs.Int("executors", 3, "cluster size")
+	records := fs.Int64("records", 200_000, "keyed-sum input records")
+	keys := fs.Int64("keys", 64, "keyed-sum distinct keys")
+	afterTasks := fs.Int("after-tasks", 3, "SIGKILL one executor after this many completed tasks")
+	victim := fs.Int("victim", 1, "executor to SIGKILL")
+	logDir := fs.String("logdir", "", "executor log directory (default: temp)")
+	fs.Parse(args)
+
+	spec := dist.JobSpec{Job: "keyed-sum", Records: *records, Keys: *keys,
+		MapParts: 2 * *executors, ReduceParts: *executors}
+
+	runOnce := func(label string, plan fault.Plan) []byte {
+		dir := ""
+		if *logDir != "" {
+			dir = *logDir + "/" + label
+		}
+		pc, err := dist.StartProc(dist.ProcConfig{
+			Executors: *executors,
+			Command:   selfCommand(),
+			LogDir:    dir,
+			Plan:      plan,
+			Logf:      logf,
+		})
+		if err != nil {
+			fatal("%s cluster: %v", label, err)
+		}
+		defer pc.Close()
+		out, err := pc.Run(spec)
+		if err != nil {
+			fatal("%s run: %v", label, err)
+		}
+		if label == "chaos" {
+			if pc.ExecutorAlive(*victim) {
+				fatal("victim executor %d still alive after its SIGKILL", *victim)
+			}
+			if alive := pc.Driver.Runtime().AliveExecutors(); alive != *executors-1 {
+				fatal("engine reports %d alive executors, want %d", alive, *executors-1)
+			}
+		}
+		return out
+	}
+
+	clean := runOnce("clean", fault.Plan{})
+	chaotic := runOnce("chaos", fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindCrash, Node: *victim, AfterTasks: *afterTasks},
+	}})
+
+	if !bytes.Equal(clean, chaotic) {
+		fatal("output diverged: clean %d bytes, chaos %d bytes", len(clean), len(chaotic))
+	}
+	kvs, err := dist.DecodeKVs(chaotic)
+	if err != nil {
+		fatal("%v", err)
+	}
+	golden := chaostest.KeyedSumGolden(*records, *keys)
+	if int64(len(kvs)) != *keys {
+		fatal("got %d keys, want %d", len(kvs), *keys)
+	}
+	for _, kv := range kvs {
+		if golden[kv.K] != kv.V {
+			fatal("key %d: got %d, want %d", kv.K, kv.V, golden[kv.K])
+		}
+	}
+	fmt.Printf("chaos gate passed: %d executors, SIGKILL executor %d after %d tasks, outputs byte-identical (%d bytes, %d keys)\n",
+		*executors, *victim, *afterTasks, len(chaotic), len(kvs))
+}

@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte("abc"), 1000),
+		make([]byte, frameGrowStep),     // exactly one grow step
+		make([]byte, frameGrowStep+1),   // spills into a second step
+		make([]byte, 3*frameGrowStep-7), // several steps, ragged tail
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, p := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(p) == 0 {
+			if got != nil {
+				t.Fatalf("frame %d: empty payload came back as %d bytes", i, len(got))
+			}
+			continue
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, bytes.Repeat([]byte("q"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	// Every proper prefix except the empty one must error with
+	// ErrUnexpectedEOF (the empty prefix is a clean end-of-stream).
+	for cut := 1; cut < len(raw); cut++ {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]), 0)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut=%d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), 1<<20)
+	var tooBig *ErrFrameTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if tooBig.Length != 1<<30 || tooBig.Max != 1<<20 {
+		t.Fatalf("ErrFrameTooLarge fields: %+v", tooBig)
+	}
+}
+
+// TestFrameCorruptPrefixNoOverAllocation pins the incremental-growth
+// guarantee: a prefix claiming a huge (but under-limit) payload against
+// a short stream must fail without allocating anywhere near the claim.
+func TestFrameCorruptPrefixNoOverAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 48<<20) // claims 48 MiB, under the 64 MiB default
+	buf.Write(hdr[:])
+	buf.WriteString("only these bytes exist")
+
+	allocated := allocBytes(func() {
+		if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 0); err != io.ErrUnexpectedEOF {
+			t.Errorf("got %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+	if allocated > 1<<20 {
+		t.Fatalf("corrupt 48 MiB prefix allocated %d bytes; growth cap is %d per step", allocated, frameGrowStep)
+	}
+}
+
+// allocBytes measures heap bytes allocated while f runs.
+func allocBytes(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// FuzzReadFrame feeds arbitrary byte streams through ReadFrame: it must
+// never panic, never over-allocate past the stream, and any payload it
+// does return must round-trip back through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var seedFrame bytes.Buffer
+	WriteFrame(&seedFrame, []byte("seed payload"))
+	f.Add(seedFrame.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 5, 'a', 'b'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r, 1<<20)
+			if err != nil {
+				var tooBig *ErrFrameTooLarge
+				if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.As(err, &tooBig) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(payload) > len(data) {
+				t.Fatalf("payload %d bytes from a %d-byte stream", len(payload), len(data))
+			}
+			var back bytes.Buffer
+			if werr := WriteFrame(&back, payload); werr != nil {
+				t.Fatalf("re-encode: %v", werr)
+			}
+			got, rerr := ReadFrame(bytes.NewReader(back.Bytes()), 1<<20)
+			if rerr != nil {
+				t.Fatalf("round-trip read: %v", rerr)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("round-trip payload mismatch")
+			}
+		}
+	})
+}
+
+// FuzzCodecRecv feeds arbitrary frames through the gob codec's decode
+// path: corrupt payloads must error, never panic.
+func FuzzCodecRecv(f *testing.F) {
+	var hello bytes.Buffer
+	WriteFrame(&hello, []byte{1, 2, 3})
+	f.Add(hello.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		if err != nil || len(payload) == 0 {
+			return
+		}
+		// Decoding garbage must fail cleanly, not panic.
+		var w wireMsg
+		_ = gob.NewDecoder(bytes.NewReader(payload)).Decode(&w)
+	})
+}

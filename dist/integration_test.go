@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"hpcmr/fault"
+)
+
+// TestMain doubles as the executor process entry point: when the test
+// binary is re-executed with HPCMR_DIST_EXECUTOR set, it runs an
+// executor instead of the test suite. This is how the integration test
+// gets real processes — and real SIGKILLs — without a separate binary.
+func TestMain(m *testing.M) {
+	if id := os.Getenv("HPCMR_DIST_EXECUTOR"); id != "" {
+		execID, err := strconv.Atoi(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad HPCMR_DIST_EXECUTOR %q: %v\n", id, err)
+			os.Exit(2)
+		}
+		e := NewExecutor(ExecutorConfig{
+			ID:         execID,
+			DriverAddr: os.Getenv("HPCMR_DIST_DRIVER"),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err := e.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "executor %d: %v\n", execID, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func selfExecCommand(t *testing.T) func(id int, driverAddr string) *exec.Cmd {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(id int, driverAddr string) *exec.Cmd {
+		cmd := exec.Command(self, "-test.run=XXX_none")
+		cmd.Env = append(os.Environ(),
+			"HPCMR_DIST_EXECUTOR="+strconv.Itoa(id),
+			"HPCMR_DIST_DRIVER="+driverAddr)
+		return cmd
+	}
+}
+
+// TestProcClusterSIGKILLRecovery is the issue's acceptance scenario: a
+// 3-executor cluster of real OS processes runs the shuffle-heavy
+// keyed-sum job while the fault plan SIGKILLs one executor mid-stage,
+// and lineage recovery must produce output byte-identical to a
+// fault-free run.
+func TestProcClusterSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster in -short mode")
+	}
+	spec := testSpec()
+	cmdFactory := selfExecCommand(t)
+
+	clean, err := StartProc(ProcConfig{
+		Executors: 3,
+		Command:   cmdFactory,
+		LogDir:    t.TempDir(),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Run(spec)
+	clean.Close()
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	checkKeyedSum(t, want, spec.Records, spec.Keys)
+
+	plan := fault.Plan{Events: []fault.Event{{Kind: fault.KindCrash, Node: 1, AfterTasks: 3}}}
+	pc, err := StartProc(ProcConfig{
+		Executors: 3,
+		Command:   cmdFactory,
+		LogDir:    t.TempDir(),
+		Plan:      plan,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	got, err := pc.Run(spec)
+	if err != nil {
+		t.Fatalf("run under SIGKILL plan: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered output differs from clean run: %d vs %d bytes", len(got), len(want))
+	}
+	checkKeyedSum(t, got, spec.Records, spec.Keys)
+
+	// The kill must have been real: executor 1's process is gone while
+	// the other two survive, and the engine agrees.
+	deadline := time.Now().Add(5 * time.Second)
+	for pc.ExecutorAlive(1) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if pc.ExecutorAlive(1) {
+		t.Error("executor 1's process survived its SIGKILL")
+	}
+	for _, id := range []int{0, 2} {
+		if !pc.ExecutorAlive(id) {
+			t.Errorf("executor %d died; only executor 1 should have", id)
+		}
+	}
+	if alive := pc.Driver.Runtime().AliveExecutors(); alive != 2 {
+		t.Errorf("engine alive executors: got %d, want 2", alive)
+	}
+}
+
+// TestProcClusterSubmitAndShutdown drives the process cluster the way
+// the mrcluster CLI does: submit over the client plane, then tear down.
+func TestProcClusterSubmitAndShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process cluster in -short mode")
+	}
+	pc, err := StartProc(ProcConfig{
+		Executors: 2,
+		Command:   selfExecCommand(t),
+		LogDir:    t.TempDir(),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	spec := testSpec()
+	out, err := Submit(pc.Driver.ClientAddr(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkKeyedSum(t, out, spec.Records, spec.Keys)
+	if err := ShutdownCluster(pc.Driver.ClientAddr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !pc.ExecutorAlive(0) && !pc.ExecutorAlive(1) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("executor processes still alive after ShutdownCluster")
+}

@@ -65,6 +65,11 @@ type FetchEvent struct {
 	// chunk element sizes).
 	Records int64
 	Bytes   float64
+	// Remote marks a fetch that crossed the network: the map output
+	// lived on another executor process and was pulled through the
+	// distributed shuffle service. The local runtime's in-memory fetches
+	// are always local (false).
+	Remote bool
 }
 
 // listeners is a concurrency-safe fan-out.

@@ -204,37 +204,33 @@ func (rt *Runtime) checkTimeCrashes() {
 	}
 }
 
-// fetchRetrying runs fetch with bounded retry-and-backoff against
-// transient injected fetch faults. Missing map output is returned
-// immediately (not transient; lineage must repair it).
+// fetchRetrying runs fetch through the shared RetryFetch discipline
+// against transient injected fetch faults. Missing map output is
+// returned immediately (not transient; lineage must repair it).
 func (rt *Runtime) fetchRetrying(tc *TaskContext, shuffleID, reducePart int, fetch func() error) error {
 	backoff := time.Duration(rt.cfg.FetchRetryBackoffSeconds * float64(time.Second))
-	var last error
-	for attempt := 0; attempt < rt.cfg.MaxFetchRetries; attempt++ {
-		if attempt > 0 {
+	err := RetryFetch(rt.cfg.MaxFetchRetries, backoff,
+		func(attempt int, backoff time.Duration, last error) {
 			rt.auditFault("fetch-retry", tc.Executor, float64(attempt),
 				fmt.Sprintf("shuffle=%d part=%d backoff=%s: %v", shuffleID, reducePart, backoff, last))
-			time.Sleep(backoff)
-			backoff *= 2
-		}
-		if inj := rt.cfg.Faults; inj != nil {
-			if err := inj.FetchFailure(tc.Executor, rt.elapsed()); err != nil {
-				last = err
-				continue
+		},
+		func() error {
+			if inj := rt.cfg.Faults; inj != nil {
+				if err := inj.FetchFailure(tc.Executor, rt.elapsed()); err != nil {
+					return err
+				}
 			}
-		}
-		err := fetch()
-		if err == nil {
-			return nil
-		}
-		var miss *MapOutputMissingError
-		if errors.As(err, &miss) {
-			return err
-		}
-		last = err
+			return fetch()
+		})
+	if err == nil {
+		return nil
+	}
+	var miss *MapOutputMissingError
+	if errors.As(err, &miss) {
+		return err
 	}
 	return fmt.Errorf("engine: shuffle %d fetch for reduce partition %d failed after %d attempts: %w",
-		shuffleID, reducePart, rt.cfg.MaxFetchRetries, last)
+		shuffleID, reducePart, rt.cfg.MaxFetchRetries, err)
 }
 
 // FetchShuffle fetches one reduce partition in the record-boxed [][]any
@@ -290,6 +286,17 @@ func (rt *Runtime) FetchShuffleChunks(tc *TaskContext, shuffleID, reducePart int
 		rt.notifyFetch(tc, shuffleID, reducePart, start, records, bytes)
 	}
 	return out, nil
+}
+
+// EmitFetch publishes an externally-observed shuffle fetch to the
+// runtime's listeners. The local runtime's own fetch paths report
+// through FetchShuffle/FetchShuffleChunks; this hook exists for the
+// distributed driver, whose reduce-side fetches happen on remote
+// executor processes and are reported back over the control channel.
+func (rt *Runtime) EmitFetch(e FetchEvent) {
+	if rt.listeners.active() {
+		rt.listeners.fetch(e)
+	}
 }
 
 // notifyFetch fans one completed shuffle fetch out to the listeners.

@@ -85,6 +85,14 @@ func chunkVolume(ch any) (records, bytes int64) {
 	return n, n * int64(v.Type().Elem().Size())
 }
 
+// ChunkVolume measures one chunk with the store's own accounting —
+// record count and approximate bytes — so external shuffle paths (the
+// distributed runtime's network fetches) report volume consistently
+// with local fetches.
+func ChunkVolume(ch any) (records, bytes int64) {
+	return chunkVolume(ch)
+}
+
 // LostPart identifies one invalidated map output.
 type LostPart struct {
 	Shuffle int
@@ -118,6 +126,47 @@ func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
 		owners:      owners,
 	}
 	return s.nextID
+}
+
+// RegisterWithID materializes shuffle id with the given geometry, the
+// hook remote executors use to mirror the driver's shuffle registry in
+// their local stores: the driver allocates IDs with Register, ships
+// them in task descriptors, and each executor lazily registers the same
+// ID on first touch. Registering an existing ID with the same geometry
+// is a no-op; a geometry mismatch is an error. nextID advances past id
+// so a later Register never collides.
+func (s *ShuffleStore) RegisterWithID(id, mapParts, reduceParts int) error {
+	if id <= 0 {
+		return fmt.Errorf("engine: RegisterWithID: invalid shuffle id %d", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.shuffles[id]; ok {
+		if d.mapParts != mapParts || d.reduceParts != reduceParts {
+			return fmt.Errorf("engine: shuffle %d already registered as %dx%d, want %dx%d",
+				id, d.mapParts, d.reduceParts, mapParts, reduceParts)
+		}
+		return nil
+	}
+	chunks := make([][]any, mapParts)
+	for i := range chunks {
+		chunks[i] = make([]any, reduceParts)
+	}
+	owners := make([]int, mapParts)
+	for i := range owners {
+		owners[i] = -1
+	}
+	s.shuffles[id] = &shuffleData{
+		mapParts:    mapParts,
+		reduceParts: reduceParts,
+		chunks:      chunks,
+		written:     make([]bool, mapParts),
+		owners:      owners,
+	}
+	if id > s.nextID {
+		s.nextID = id
+	}
+	return nil
 }
 
 // get looks a shuffle up under the shared registry lock, also reporting
@@ -225,6 +274,52 @@ func (s *ShuffleStore) FetchChunks(shuffleID, reducePart int) ([]any, error) {
 		out[m] = d.chunks[m][reducePart]
 	}
 	return out, nil
+}
+
+// FetchChunk returns the single stored chunk for one (map, reduce)
+// partition pair, with the same MapOutputMissingError semantics as
+// FetchChunks. This is the granularity the distributed shuffle service
+// serves at: a remote reducer asks an executor only for the map
+// partitions that executor owns.
+func (s *ShuffleStore) FetchChunk(shuffleID, mapPart, reducePart int) (any, error) {
+	d, ok, _ := s.get(shuffleID, -1)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown shuffle %d", shuffleID)
+	}
+	if mapPart < 0 || mapPart >= d.mapParts {
+		return nil, fmt.Errorf("engine: shuffle %d: map partition %d out of range", shuffleID, mapPart)
+	}
+	if reducePart < 0 || reducePart >= d.reduceParts {
+		return nil, fmt.Errorf("engine: shuffle %d: reduce partition %d out of range", shuffleID, reducePart)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.written[mapPart] {
+		return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: mapPart}
+	}
+	return d.chunks[mapPart][reducePart], nil
+}
+
+// Owners returns the producing executor of each map partition, -1 where
+// the partition is unwritten (never materialized, or invalidated by
+// executor loss). The distributed driver builds reduce-task fetch
+// locations from this.
+func (s *ShuffleStore) Owners(shuffleID int) []int {
+	d, ok, _ := s.get(shuffleID, -1)
+	if !ok {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]int, d.mapParts)
+	for m := 0; m < d.mapParts; m++ {
+		if d.written[m] {
+			out[m] = d.owners[m]
+		} else {
+			out[m] = -1
+		}
+	}
+	return out
 }
 
 // Fetch returns all map-side buckets for one reduce partition in the

@@ -1,18 +1,24 @@
-package engine
+package engine_test
 
 import (
 	"errors"
+	"net"
 	"testing"
+
+	"hpcmr/dist"
+	"hpcmr/engine"
 )
 
 // The record-boxed Put/PutFrom/Fetch wrappers survive as the compat
 // surface over the chunk-native store (perf's contention scenario and
 // external callers use them); these tests pin their round-trip
 // semantics, including the reflective boxChunk path that flattens
-// typed chunks back into boxed records.
+// typed chunks back into boxed records. The remote variants push the
+// same compat chunks through the distributed shuffle service and pin
+// that MapOutputMissingError behaves identically local and remote.
 
 func TestPutFetchRoundTrip(t *testing.T) {
-	s := NewShuffleStore()
+	s := engine.NewShuffleStore()
 	id := s.Register(2, 3)
 	for m := 0; m < 2; m++ {
 		buckets := make([][]any, 3)
@@ -41,7 +47,7 @@ func TestPutFetchRoundTrip(t *testing.T) {
 }
 
 func TestFetchBoxesTypedChunks(t *testing.T) {
-	s := NewShuffleStore()
+	s := engine.NewShuffleStore()
 	id := s.Register(1, 2)
 	// Typed chunks through the native path; Fetch must flatten them
 	// reflectively (boxChunk) into boxed records.
@@ -67,7 +73,7 @@ func TestFetchBoxesTypedChunks(t *testing.T) {
 }
 
 func TestFetchChunksReturnsPutBucketsAsStored(t *testing.T) {
-	s := NewShuffleStore()
+	s := engine.NewShuffleStore()
 	id := s.Register(1, 2)
 	if err := s.Put(id, 0, [][]any{{1, 2}, {}}); err != nil {
 		t.Fatal(err)
@@ -90,20 +96,20 @@ func TestFetchChunksReturnsPutBucketsAsStored(t *testing.T) {
 }
 
 func TestFetchMissingThroughCompatWrapper(t *testing.T) {
-	s := NewShuffleStore()
+	s := engine.NewShuffleStore()
 	id := s.Register(2, 1)
 	if err := s.Put(id, 0, [][]any{{1}}); err != nil {
 		t.Fatal(err)
 	}
 	_, err := s.Fetch(id, 0)
-	var miss *MapOutputMissingError
+	var miss *engine.MapOutputMissingError
 	if !errors.As(err, &miss) || miss.MapPart != 1 {
 		t.Fatalf("err = %v, want MapOutputMissingError for map part 1", err)
 	}
 }
 
 func TestShuffleVolumeAccounting(t *testing.T) {
-	s := NewShuffleStore()
+	s := engine.NewShuffleStore()
 	id := s.Register(2, 2)
 	// Typed chunks: 3 int64 records = 24 bytes.
 	if err := s.PutChunksFrom(id, 0, 0, []any{[]int64{1, 2}, []int64{3}}); err != nil {
@@ -139,5 +145,93 @@ func TestShuffleVolumeAccounting(t *testing.T) {
 	}
 	if v := s.ShuffleVolume(id); v.Records != 0 {
 		t.Fatalf("dropped shuffle reports volume %+v", v)
+	}
+}
+
+// serveStore exposes a store over the distributed shuffle service on an
+// ephemeral loopback port, the way each executor serves its map output.
+func serveStore(t *testing.T, s *engine.ShuffleStore) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := dist.NewShuffleServer(s)
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String()
+}
+
+// TestRemoteFetchBoxedCompatChunks pushes record-boxed compat chunks
+// (the Put wrapper's [][]any form) through a remote fetch: what the
+// network returns must match what the local store holds.
+func TestRemoteFetchBoxedCompatChunks(t *testing.T) {
+	s := engine.NewShuffleStore()
+	id := s.Register(2, 2)
+	if err := s.Put(id, 0, [][]any{{1, 2}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutChunksFrom(id, 1, -1, []any{[]int64{7, 8}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	addr := serveStore(t, s)
+
+	chunks, err := dist.FetchPeerChunks(addr, id, 0, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxed, ok := chunks[0].([]any)
+	if !ok || len(boxed) != 2 || boxed[0] != 1 || boxed[1] != 2 {
+		t.Fatalf("remote boxed chunk = %#v", chunks[0])
+	}
+	typed, ok := chunks[1].([]int64)
+	if !ok || len(typed) != 2 || typed[0] != 7 || typed[1] != 8 {
+		t.Fatalf("remote typed chunk = %#v", chunks[1])
+	}
+
+	// The empty boxed bucket and the nil typed bucket both come back
+	// empty, mirroring the local FetchChunk contract.
+	chunks, err = dist.FetchPeerChunks(addr, id, 1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := chunks[0].([]any); ok && len(b) != 0 {
+		t.Fatalf("empty boxed bucket fetched as %#v", chunks[0])
+	}
+	if chunks[1] != nil {
+		if ty, ok := chunks[1].([]int64); !ok || len(ty) != 0 {
+			t.Fatalf("nil typed bucket fetched as %#v", chunks[1])
+		}
+	}
+}
+
+// TestRemoteFetchMissingMatchesLocal pins the contract the distributed
+// runtime's recovery path depends on: a fetch of unmaterialized map
+// output yields the same *engine.MapOutputMissingError whether the
+// store is read locally (compat wrapper) or across the network.
+func TestRemoteFetchMissingMatchesLocal(t *testing.T) {
+	s := engine.NewShuffleStore()
+	id := s.Register(2, 1)
+	if err := s.Put(id, 0, [][]any{{1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, localErr := s.Fetch(id, 0)
+	var localMiss *engine.MapOutputMissingError
+	if !errors.As(localErr, &localMiss) {
+		t.Fatalf("local err = %v, want MapOutputMissingError", localErr)
+	}
+
+	addr := serveStore(t, s)
+	_, remoteErr := dist.FetchPeerChunks(addr, id, 0, []int{0, 1})
+	var remoteMiss *engine.MapOutputMissingError
+	if !errors.As(remoteErr, &remoteMiss) {
+		t.Fatalf("remote err = %v, want MapOutputMissingError", remoteErr)
+	}
+	if *remoteMiss != *localMiss {
+		t.Fatalf("remote miss %+v != local miss %+v", *remoteMiss, *localMiss)
+	}
+	if remoteMiss.Shuffle != id || remoteMiss.MapPart != 1 {
+		t.Fatalf("remote miss fields %+v, want shuffle %d map part 1", *remoteMiss, id)
 	}
 }

@@ -60,14 +60,22 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	return c
 }
 
-// goldenSums computes the job's expected result analytically: key k
-// sums every i < Records with i % Keys == k.
-func (c EngineConfig) goldenSums() map[int64]int64 {
-	golden := make(map[int64]int64, c.Keys)
-	for i := int64(0); i < c.Records; i++ {
-		golden[i%c.Keys] += i
+// KeyedSumGolden computes the keyed-sum job's expected result
+// analytically: key k sums every i < records with i % keys == k. The
+// engine chaos harness and the distributed-cluster chaos harness both
+// judge against it — any duplicated or lost combined chunk corrupts a
+// sum.
+func KeyedSumGolden(records, keys int64) map[int64]int64 {
+	golden := make(map[int64]int64, keys)
+	for i := int64(0); i < records; i++ {
+		golden[i%keys] += i
 	}
 	return golden
+}
+
+// goldenSums computes the trial's expected result.
+func (c EngineConfig) goldenSums() map[int64]int64 {
+	return KeyedSumGolden(c.Records, c.Keys)
 }
 
 // EngineReport is the outcome of one engine chaos trial.

@@ -178,6 +178,30 @@ func Decode(data []byte) (Plan, error) {
 	return p, nil
 }
 
+// Filter returns a sub-plan holding only the events of the given
+// kinds, preserving order and the seed. The distributed runtime splits
+// a plan this way: crash events stay driver-side (where they become
+// real process kills), while the transient kinds (slow, fetch-loss,
+// task-fail, hang) ship to the executor processes and replay there.
+func (p Plan) Filter(kinds ...Kind) Plan {
+	keep := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		keep[k] = true
+	}
+	out := Plan{Seed: p.Seed}
+	for _, e := range p.Events {
+		if keep[e.Kind] {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// TransientKinds are the fault kinds that do not permanently remove a
+// node: they degrade or fail individual operations and are replayed
+// in-process on whichever backend hosts the operation.
+var TransientKinds = []Kind{KindSlow, KindFetchLoss, KindTaskFail, KindHang}
+
 // CrashTimes returns the distinct time triggers of the plan's
 // time-based crash events, ascending — the instants a simulator must
 // visit so crashes fire exactly on schedule.

@@ -1,0 +1,85 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+
+	"hpcmr/dist"
+	"hpcmr/engine"
+)
+
+func init() {
+	mustRegister(Scenario{
+		Name: "dist/remote-shuffle",
+		Desc: "keyed-sum on a 3-executor in-process cluster: map output served over the network shuffle service",
+		Run:  runDistRemoteShuffle,
+	})
+}
+
+// runDistRemoteShuffle runs the shuffle-heavy keyed-sum job on a real
+// distributed cluster (driver + 3 executors over loopback TCP), so the
+// timing covers dispatch, heartbeats, and remote chunk fetches end to
+// end. The gated extras are the deterministic map-output volume — the
+// map-side combiner collapses each map partition to one record per key,
+// so movement is MapParts x Keys regardless of input size or which
+// executor each task lands on. The local/remote fetch split depends on
+// scheduling and is exported ungated, for the report only.
+func runDistRemoteShuffle(sc Scale) (Extras, error) {
+	records := int64(400_000)
+	if sc.Short {
+		records = 100_000
+	}
+	const executors, keys = 3, int64(64)
+
+	lc, err := dist.StartLocal(dist.LocalConfig{Executors: executors})
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+
+	var mu sync.Mutex
+	var localRecs, remoteRecs int64
+	var localBytes, remoteBytes float64
+	lc.Driver.Runtime().AddListener(engine.FuncListener{
+		Fetch: func(e engine.FetchEvent) {
+			mu.Lock()
+			if e.Remote {
+				remoteRecs += e.Records
+				remoteBytes += e.Bytes
+			} else {
+				localRecs += e.Records
+				localBytes += e.Bytes
+			}
+			mu.Unlock()
+		},
+	})
+
+	spec := dist.JobSpec{
+		Job: "keyed-sum", Records: records, Keys: keys,
+		MapParts: 2 * executors, ReduceParts: executors,
+	}
+	out, err := lc.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := dist.DecodeKVs(out)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(kvs)) != keys {
+		return nil, fmt.Errorf("remote-shuffle produced %d keys, want %d", len(kvs), keys)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	m := lc.Driver.Runtime().Metrics()
+	return Extras{
+		"records":               float64(records),
+		"shuffle_records_moved": float64(m.ShuffleRecords()),
+		"shuffle_bytes_moved":   m.ShuffleBytes(),
+		"local_fetch_records":   float64(localRecs),
+		"remote_fetch_records":  float64(remoteRecs),
+		"local_fetch_bytes":     localBytes,
+		"remote_fetch_bytes":    remoteBytes,
+	}, nil
+}

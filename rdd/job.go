@@ -1,7 +1,6 @@
 package rdd
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -157,25 +156,14 @@ func (c *Context) recoverMissing(miss *engine.MapOutputMissingError, depth int) 
 	return c.runStageRecovering(fmt.Sprintf("shufflemap-%d-recovery", miss.Shuffle), tasks, depth)
 }
 
-// runStageRecovering runs a stage, repairing lost shuffle lineage and
-// retrying when the failure was a missing map output (executor loss).
-// Any other failure is returned as-is.
+// runStageRecovering runs a stage under the engine's shared
+// lineage-repair loop: a missing-map-output failure (executor loss)
+// re-executes the invalidated partitions through recoverMissing and
+// retries the stage; any other failure is returned as-is.
 func (c *Context) runStageRecovering(name string, tasks []engine.TaskSpec, depth int) error {
-	var err error
-	for attempt := 0; attempt <= maxStageRecoveries; attempt++ {
-		err = c.rt.RunStage(name, tasks)
-		if err == nil {
-			return nil
-		}
-		var miss *engine.MapOutputMissingError
-		if !errors.As(err, &miss) {
-			return err
-		}
-		if rerr := c.recoverMissing(miss, depth+1); rerr != nil {
-			return rerr
-		}
-	}
-	return err
+	return engine.RunStageRecovering(maxStageRecoveries,
+		func() error { return c.rt.RunStage(name, tasks) },
+		func(miss *engine.MapOutputMissingError) error { return c.recoverMissing(miss, depth+1) })
 }
 
 // runJob materializes n's lineage and runs the result stage, delivering

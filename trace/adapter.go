@@ -100,8 +100,19 @@ func (l *engineListener) OnTaskEnd(e engine.TaskEvent) {
 // OnFetch records real-engine shuffle fetches as CatFetch spans. The
 // engine's in-memory shuffle has no per-mapper transfer granularity, so
 // the whole fetch is one span with the shuffle ID standing in for the
-// stage name and the source peer unknown (-1).
+// stage name and the source peer unknown (-1). The detail tags whether
+// the chunks came from the executor's own store or over the network —
+// the distributed driver emits one span per class, so a trace shows the
+// local/remote shuffle split directly.
 func (l *engineListener) OnFetch(e engine.FetchEvent) {
-	l.t.FetchSpan(fmt.Sprintf("shuffle-%d", e.Shuffle), e.TaskID, -1, e.Executor,
-		l.t.Since(e.Start), e.Duration, e.Bytes, float64(e.Records))
+	detail := "local"
+	if e.Remote {
+		detail = "remote"
+	}
+	l.t.Emit(Event{
+		TS: l.t.Since(e.Start), Dur: e.Duration, Kind: Span, Cat: CatFetch,
+		Name: "fetch", Node: e.Executor, Peer: -1,
+		Stage: fmt.Sprintf("shuffle-%d", e.Shuffle), Task: e.TaskID,
+		Bytes: e.Bytes, Records: float64(e.Records), Detail: detail,
+	})
 }

@@ -42,10 +42,11 @@ func main() {
 	out := flag.String("out", "", "write the last trial's trace as JSONL to this file")
 	verbose := flag.Bool("v", false, "print every trial, not only failures")
 	engineTrials := flag.Bool("engine", false, "run trials against the real engine runtime (combiners on) instead of the simulator")
+	budget := flag.Int64("budget", 0, "engine trials: resident memory budget in bytes; map outputs spill above it (0 = unbounded)")
 	flag.Parse()
 
 	if *engineTrials {
-		runEngineSweep(*seed, *runs, *verbose)
+		runEngineSweep(*seed, *runs, *budget, *verbose)
 		return
 	}
 
@@ -87,12 +88,13 @@ func main() {
 }
 
 // runEngineSweep runs consecutive seeds against the real runtime and
-// exits non-zero on any violation.
-func runEngineSweep(seed int64, runs int, verbose bool) {
+// exits non-zero on any violation. A non-zero budget routes every trial
+// through the spill path so faults land on disk-resident partitions.
+func runEngineSweep(seed int64, runs int, budget int64, verbose bool) {
 	failures := 0
 	for i := 0; i < runs; i++ {
 		s := seed + int64(i)
-		rep, err := chaostest.RunEngineSeed(chaostest.EngineConfig{}, s)
+		rep, err := chaostest.RunEngineSeed(chaostest.EngineConfig{MemoryBudget: budget}, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrchaos: seed %d: %v\n", s, err)
 			os.Exit(2)

@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	mrcluster up [-executors N] [-state FILE] [-logdir DIR]
+//	mrcluster up [-executors N] [-memory-budget BYTES] [-spill-dir DIR] [-state FILE] [-logdir DIR]
 //	mrcluster run [-state FILE | -cluster ADDR] -job NAME [job flags]
 //	mrcluster down [-state FILE | -cluster ADDR]
-//	mrcluster chaos [-executors N] [-after-tasks K] [-logdir DIR]
-//	mrcluster executor -id N -driver ADDR            (internal)
+//	mrcluster chaos [-executors N] [-after-tasks K] [-memory-budget BYTES] [-logdir DIR]
+//	mrcluster executor -id N -driver ADDR [-memory-budget BYTES] [-spill-dir DIR]   (internal)
+//
+// -memory-budget bounds each executor's resident shuffle bytes; above
+// it, least-recently-used map outputs spill to local disk and are read
+// back (or recomputed via lineage) on demand. -spill-dir points the
+// spill files at a specific filesystem (each executor writes an
+// exec-<id> subdirectory); empty means a private temp dir. Both fall
+// back to the HPCMR_MEMORY_BUDGET and HPCMR_SPILL_DIR environment
+// variables.
 //
 // `up` runs the cluster in the foreground and writes a JSON state file
 // with the client address and executor PIDs; `run` and `down` find the
@@ -83,27 +91,66 @@ func main() {
 	}
 }
 
-// selfCommand spawns this binary back as `mrcluster executor`.
-func selfCommand() func(id int, driverAddr string) *exec.Cmd {
+// selfCommand spawns this binary back as `mrcluster executor`,
+// forwarding the memory budget and spill directory so every executor
+// process runs under the same bound.
+func selfCommand(memoryBudget int64, spillDir string) func(id int, driverAddr string) *exec.Cmd {
 	self, err := os.Executable()
 	if err != nil {
 		fatal("%v", err)
 	}
 	return func(id int, driverAddr string) *exec.Cmd {
-		return exec.Command(self, "executor", "-id", strconv.Itoa(id), "-driver", driverAddr)
+		argv := []string{"executor", "-id", strconv.Itoa(id), "-driver", driverAddr}
+		if memoryBudget > 0 {
+			argv = append(argv, "-memory-budget", strconv.FormatInt(memoryBudget, 10))
+		}
+		if spillDir != "" {
+			argv = append(argv, "-spill-dir", spillDir)
+		}
+		return exec.Command(self, argv...)
 	}
 }
 
-// executor is the hidden subcommand the spawned processes run.
+// envInt64 reads an int64 from the environment; unset or malformed
+// values yield the default.
+func envInt64(name string, def int64) int64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+		logf("ignoring %s=%q: not an integer", name, s)
+	}
+	return def
+}
+
+func envString(name, def string) string {
+	if s := os.Getenv(name); s != "" {
+		return s
+	}
+	return def
+}
+
+// executor is the hidden subcommand the spawned processes run. The
+// -memory-budget and -spill-dir flags fall back to HPCMR_MEMORY_BUDGET
+// and HPCMR_SPILL_DIR, so site launchers can bound executors without
+// touching the argv the driver builds.
 func executor(args []string) {
 	fs := flag.NewFlagSet("executor", flag.ExitOnError)
 	id := fs.Int("id", -1, "executor ID")
 	driver := fs.String("driver", "", "driver control address")
+	memoryBudget := fs.Int64("memory-budget", envInt64("HPCMR_MEMORY_BUDGET", 0),
+		"resident shuffle bytes before spilling to disk (0 = unbounded)")
+	spillDir := fs.String("spill-dir", envString("HPCMR_SPILL_DIR", ""),
+		"spill file directory; each executor uses an exec-<id> subdir (default: private temp)")
 	fs.Parse(args)
 	if *id < 0 || *driver == "" {
 		fatal("executor needs -id and -driver")
 	}
-	e := dist.NewExecutor(dist.ExecutorConfig{ID: *id, DriverAddr: *driver, Logf: logf})
+	e := dist.NewExecutor(dist.ExecutorConfig{
+		ID: *id, DriverAddr: *driver,
+		MemoryBudget: *memoryBudget, SpillDir: *spillDir,
+		Logf: logf,
+	})
 	if err := e.Run(); err != nil {
 		fatal("%v", err)
 	}
@@ -115,12 +162,16 @@ func up(args []string) {
 	cores := fs.Int("cores", 2, "cores per executor")
 	statePath := fs.String("state", defaultStatePath(), "cluster state file")
 	logDir := fs.String("logdir", "", "executor log directory (default: temp)")
+	memoryBudget := fs.Int64("memory-budget", envInt64("HPCMR_MEMORY_BUDGET", 0),
+		"per-executor resident shuffle bytes before spilling (0 = unbounded)")
+	spillDir := fs.String("spill-dir", envString("HPCMR_SPILL_DIR", ""),
+		"shared spill directory; executors use exec-<id> subdirs (default: private temps)")
 	fs.Parse(args)
 
 	pc, err := dist.StartProc(dist.ProcConfig{
 		Executors:        *executors,
 		CoresPerExecutor: *cores,
-		Command:          selfCommand(),
+		Command:          selfCommand(*memoryBudget, *spillDir),
 		LogDir:           *logDir,
 		Logf:             logf,
 	})
@@ -269,6 +320,8 @@ func chaos(args []string) {
 	afterTasks := fs.Int("after-tasks", 3, "SIGKILL one executor after this many completed tasks")
 	victim := fs.Int("victim", 1, "executor to SIGKILL")
 	logDir := fs.String("logdir", "", "executor log directory (default: temp)")
+	memoryBudget := fs.Int64("memory-budget", envInt64("HPCMR_MEMORY_BUDGET", 0),
+		"per-executor resident shuffle bytes before spilling (0 = unbounded)")
 	fs.Parse(args)
 
 	spec := dist.JobSpec{Job: "keyed-sum", Records: *records, Keys: *keys,
@@ -281,7 +334,7 @@ func chaos(args []string) {
 		}
 		pc, err := dist.StartProc(dist.ProcConfig{
 			Executors: *executors,
-			Command:   selfCommand(),
+			Command:   selfCommand(*memoryBudget, ""),
 			LogDir:    dir,
 			Plan:      plan,
 			Logf:      logf,

@@ -30,6 +30,9 @@ type LocalConfig struct {
 	CoresPerExecutor int
 	// Plan is the fault plan; crash events become KillExecutor calls.
 	Plan fault.Plan
+	// MemoryBudget bounds each executor's resident shuffle bytes
+	// (spilling LRU map outputs to a private temp dir); 0 = unbounded.
+	MemoryBudget int64
 	// HeartbeatTimeout overrides the driver's liveness timeout.
 	HeartbeatTimeout time.Duration
 	// Logf receives driver and executor progress lines.
@@ -61,7 +64,10 @@ func StartLocal(cfg LocalConfig) (*LocalCluster, error) {
 	lc.execs = make([]*Executor, cfg.Executors)
 	lc.errs = make([]error, cfg.Executors)
 	for i := 0; i < cfg.Executors; i++ {
-		e := NewExecutor(ExecutorConfig{ID: i, DriverAddr: d.ControlAddr(), Logf: cfg.Logf})
+		e := NewExecutor(ExecutorConfig{
+			ID: i, DriverAddr: d.ControlAddr(),
+			MemoryBudget: cfg.MemoryBudget, Logf: cfg.Logf,
+		})
 		lc.execs[i] = e
 		lc.wg.Add(1)
 		go func(i int, e *Executor) {

@@ -59,6 +59,32 @@ func TestLocalClusterKeyedSum(t *testing.T) {
 	}
 }
 
+// TestLocalClusterMemoryBudget runs the same job on a cluster whose
+// executors hold almost nothing resident: every map output spills to
+// the executor's local disk and reduces read back through spill files.
+// The output must be byte-identical to an unbounded cluster's.
+func TestLocalClusterMemoryBudget(t *testing.T) {
+	spec := testSpec()
+	runWith := func(budget int64) []byte {
+		lc, err := StartLocal(LocalConfig{Executors: 3, MemoryBudget: budget, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lc.Close()
+		out, err := lc.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	unbounded := runWith(0)
+	tiny := runWith(1)
+	if !bytes.Equal(unbounded, tiny) {
+		t.Fatalf("1-byte budget output diverged: %d vs %d bytes", len(tiny), len(unbounded))
+	}
+	checkKeyedSum(t, tiny, spec.Records, spec.Keys)
+}
+
 func TestLocalClusterWordcount(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "in.txt")

@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"hpcmr/engine"
 	"hpcmr/fault"
+	"hpcmr/internal/spill"
 )
 
 // Heartbeat cadence and the driver-side liveness timeout it must beat.
@@ -27,6 +30,15 @@ type ExecutorConfig struct {
 	DriverAddr string
 	// HeartbeatInterval defaults to DefaultHeartbeatInterval.
 	HeartbeatInterval time.Duration
+	// MemoryBudget bounds the executor's resident shuffle bytes; above
+	// it, least-recently-used map outputs spill to local disk. 0 keeps
+	// everything resident.
+	MemoryBudget int64
+	// SpillDir is where a budgeted executor writes spill files; each
+	// executor uses its own exec-<id> subdirectory, so one shared path
+	// serves a whole node. Empty means a private temp dir, removed on
+	// exit.
+	SpillDir string
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -91,6 +103,27 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 // driver shuts the cluster down (nil), the control connection drops, or
 // registration is rejected.
 func (e *Executor) Run() error {
+	if e.cfg.MemoryBudget > 0 {
+		dir := e.cfg.SpillDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", fmt.Sprintf("hpcmr-exec%d-spill-*", e.cfg.ID))
+			if err != nil {
+				return fmt.Errorf("dist: executor %d spill dir: %w", e.cfg.ID, err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		} else {
+			dir = filepath.Join(dir, fmt.Sprintf("exec-%d", e.cfg.ID))
+		}
+		store, err := engine.NewSpillingShuffleStore(spill.NewAccountant(e.cfg.MemoryBudget), dir)
+		if err != nil {
+			return fmt.Errorf("dist: executor %d spill store: %w", e.cfg.ID, err)
+		}
+		store.SetSpillAudit(func(kind string, value float64, detail string) {
+			e.logf("executor %d %s %.0fB %s", e.cfg.ID, kind, value, detail)
+		})
+		e.store = store
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fmt.Errorf("dist: executor %d shuffle listener: %w", e.cfg.ID, err)

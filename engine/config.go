@@ -114,6 +114,17 @@ type Config struct {
 	// the depth only tunes how much goroutine-spawn traffic the workers
 	// absorb under concurrent stages.
 	RunQueueDepth int
+	// MemoryBudget caps the accounted resident bytes of shuffle output
+	// and cached partitions, in bytes; 0 means unbounded (everything
+	// stays in RAM, the pre-budget behavior). Over budget, the runtime
+	// evicts least-recently-used chunk lists into spill files under
+	// SpillDir and reads them back transparently on fetch — the paper's
+	// RAMDisk→SSD step of the storage hierarchy.
+	MemoryBudget int64
+	// SpillDir is where evicted chunk lists land when MemoryBudget is
+	// set. Empty means a runtime-owned temporary directory, removed on
+	// Close; a caller-provided directory is created but left in place.
+	SpillDir string
 }
 
 // withDefaults fills zero fields.
@@ -183,6 +194,9 @@ func (c Config) newPolicy() sched.Policy {
 func (c Config) Validate() error {
 	if c.Executors < 0 || c.CoresPerExecutor < 0 {
 		return fmt.Errorf("engine: negative executor configuration")
+	}
+	if c.MemoryBudget < 0 {
+		return fmt.Errorf("engine: negative memory budget %d", c.MemoryBudget)
 	}
 	return nil
 }

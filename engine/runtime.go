@@ -3,11 +3,13 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"hpcmr/internal/sched"
+	"hpcmr/internal/spill"
 )
 
 // ErrAllExecutorsLost fails a stage when no executor remains alive to
@@ -54,6 +56,13 @@ type Runtime struct {
 	start     time.Time
 	workers   []*execWorkers
 
+	// Memory-budget state (nil/empty when MemoryBudget is 0): the
+	// accountant shared by the shuffle store and the rdd cache, the
+	// spill directory, and whether Close owns its removal.
+	mem          *spill.Accountant
+	spillDir     string
+	ownsSpillDir bool
+
 	mu      sync.Mutex
 	stageID int
 	closed  bool
@@ -73,17 +82,72 @@ func New(cfg Config) (*Runtime, error) {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{
 		cfg:     cfg,
-		shuffle: NewShuffleStore(),
 		metrics: &Metrics{},
 		start:   time.Now(),
 		stages:  make(map[*stageState]struct{}),
 		dead:    make([]bool, cfg.Executors),
 		workers: make([]*execWorkers, cfg.Executors),
 	}
+	if cfg.MemoryBudget > 0 {
+		dir := cfg.SpillDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "hpcmr-spill-*"); err != nil {
+				return nil, fmt.Errorf("engine: spill dir: %w", err)
+			}
+			rt.ownsSpillDir = true
+		}
+		rt.mem = spill.NewAccountant(cfg.MemoryBudget)
+		rt.spillDir = dir
+		store, err := NewSpillingShuffleStore(rt.mem, dir)
+		if err != nil {
+			if rt.ownsSpillDir {
+				os.RemoveAll(dir)
+			}
+			return nil, err
+		}
+		store.SetSpillAudit(rt.auditSpill)
+		rt.shuffle = store
+	} else {
+		rt.shuffle = NewShuffleStore()
+	}
 	for e := range rt.workers {
 		rt.workers[e] = newExecWorkers(e, cfg.CoresPerExecutor, cfg.RunQueueDepth)
 	}
 	return rt, nil
+}
+
+// MemoryAccountant returns the shared memory-budget accountant, nil
+// when the runtime is unbounded. The rdd cache admits its partitions
+// here so shuffle output and cached data compete for one budget.
+func (rt *Runtime) MemoryAccountant() *spill.Accountant { return rt.mem }
+
+// SpillDir is where evicted entries land ("" when unbounded).
+func (rt *Runtime) SpillDir() string { return rt.spillDir }
+
+// SpillStats snapshots the memory-budget counters; ok is false when the
+// runtime runs unbounded.
+func (rt *Runtime) SpillStats() (st spill.Stats, ok bool) {
+	if rt.mem == nil {
+		return spill.Stats{}, false
+	}
+	return rt.mem.Stats(), true
+}
+
+// auditSpill emits a spill decision through the SchedAudit hook under
+// Policy "spill" — how the trace subsystem sees spill/unspill events.
+func (rt *Runtime) auditSpill(kind string, value float64, detail string) {
+	if rt.cfg.SchedAudit != nil {
+		rt.cfg.SchedAudit(sched.AuditEvent{
+			Policy: "spill", Kind: kind, Node: -1, Value: value, Detail: detail,
+		})
+	}
+}
+
+// AuditSpill lets the rdd cache report its spill decisions through the
+// same hook the shuffle store uses, under Policy "spill".
+func (rt *Runtime) AuditSpill(kind string, value float64, detail string) {
+	rt.auditSpill(kind, value, detail)
 }
 
 // Config returns the effective configuration.
@@ -97,7 +161,7 @@ func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
 
 // Close marks the runtime closed and winds the executor workers down;
 // subsequent RunStage calls fail. Attempts already queued still drain
-// before the workers exit.
+// before the workers exit. A runtime-owned spill directory is removed.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
 	already := rt.closed
@@ -108,6 +172,9 @@ func (rt *Runtime) Close() {
 	}
 	for _, w := range rt.workers {
 		w.stop()
+	}
+	if rt.ownsSpillDir {
+		os.RemoveAll(rt.spillDir)
 	}
 }
 

@@ -2,10 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"hpcmr/internal/spill"
 )
 
 // ShuffleStore is the in-memory shuffle service connecting map-side
@@ -37,10 +41,35 @@ type ShuffleStore struct {
 	nextID   int
 	lost     map[int]bool // executors whose writes are no longer accepted
 
+	// spill, when non-nil, makes the store memory-budgeted: map outputs
+	// are admitted to the accountant and evicted LRU into spill files
+	// when resident bytes exceed the budget. nil = the classic
+	// everything-in-RAM store.
+	spill *storeSpill
+
 	// Store-wide movement totals, mirrored from the per-shuffle counters
 	// so they survive Drop.
 	totalRecords atomic.Int64
 	totalBytes   atomic.Int64
+}
+
+// storeSpill is a budgeted store's spill machinery.
+type storeSpill struct {
+	acct *spill.Accountant
+	dir  string
+
+	auditMu sync.RWMutex
+	audit   func(kind string, value float64, detail string)
+}
+
+// auditf emits one spill event if an audit hook is installed.
+func (sp *storeSpill) auditf(kind string, value float64, detail string) {
+	sp.auditMu.RLock()
+	fn := sp.audit
+	sp.auditMu.RUnlock()
+	if fn != nil {
+		fn(kind, value, detail)
+	}
 }
 
 // shuffleData holds one shuffle's chunks:
@@ -52,6 +81,17 @@ type shuffleData struct {
 	chunks      [][]any
 	written     []bool
 	owners      []int // producing executor per map partition; -1 unknown
+
+	// Budgeted-store state, allocated only when the store spills.
+	// spilled marks a written partition whose chunk list lives in a
+	// spill file instead of chunks[m]; gen counts rewrites of each
+	// partition so a stale in-flight eviction recognizes it has been
+	// superseded; bytes is each partition's accounted size; handles are
+	// the accountant tickets of resident partitions.
+	spilled []bool
+	gen     []uint64
+	bytes   []int64
+	handles []*spill.Handle
 
 	// Cumulative movement through this shuffle: every record/byte ever
 	// put, including re-puts from retried or recovered map tasks — the
@@ -104,12 +144,47 @@ func NewShuffleStore() *ShuffleStore {
 	return &ShuffleStore{shuffles: make(map[int]*shuffleData), lost: make(map[int]bool)}
 }
 
-// Register allocates a shuffle with the given geometry and returns its
-// ID.
-func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
+// NewSpillingShuffleStore returns a store that keeps its accounted
+// resident bytes inside acct's budget by evicting LRU map outputs into
+// spill files under dir (created if absent). The caller owns dir's
+// lifetime; engine.New wires this up from Config.MemoryBudget.
+func NewSpillingShuffleStore(acct *spill.Accountant, dir string) (*ShuffleStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: spill dir: %w", err)
+	}
+	s := NewShuffleStore()
+	s.spill = &storeSpill{acct: acct, dir: dir}
+	return s, nil
+}
+
+// SetSpillAudit installs the hook receiving spill/restore events
+// (kind "spill", "restore", "spill-fail", "spill-corrupt").
+func (s *ShuffleStore) SetSpillAudit(fn func(kind string, value float64, detail string)) {
+	if s.spill == nil {
+		return
+	}
+	s.spill.auditMu.Lock()
+	s.spill.audit = fn
+	s.spill.auditMu.Unlock()
+}
+
+// SpillStats snapshots the budget accountant; ok is false for an
+// unbudgeted store.
+func (s *ShuffleStore) SpillStats() (st spill.Stats, ok bool) {
+	if s.spill == nil {
+		return spill.Stats{}, false
+	}
+	return s.spill.acct.Stats(), true
+}
+
+// spillPath is where one map partition's evicted chunk list lives.
+func (s *ShuffleStore) spillPath(shuffleID, mapPart int) string {
+	return filepath.Join(s.spill.dir, fmt.Sprintf("shuffle-%d-part-%d.spill", shuffleID, mapPart))
+}
+
+// newShuffleData allocates one shuffle's storage; the budgeted-store
+// arrays only exist when the store spills.
+func (s *ShuffleStore) newShuffleData(mapParts, reduceParts int) *shuffleData {
 	chunks := make([][]any, mapParts)
 	for i := range chunks {
 		chunks[i] = make([]any, reduceParts)
@@ -118,13 +193,29 @@ func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
 	for i := range owners {
 		owners[i] = -1
 	}
-	s.shuffles[s.nextID] = &shuffleData{
+	d := &shuffleData{
 		mapParts:    mapParts,
 		reduceParts: reduceParts,
 		chunks:      chunks,
 		written:     make([]bool, mapParts),
 		owners:      owners,
 	}
+	if s.spill != nil {
+		d.spilled = make([]bool, mapParts)
+		d.gen = make([]uint64, mapParts)
+		d.bytes = make([]int64, mapParts)
+		d.handles = make([]*spill.Handle, mapParts)
+	}
+	return d
+}
+
+// Register allocates a shuffle with the given geometry and returns its
+// ID.
+func (s *ShuffleStore) Register(mapParts, reduceParts int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.shuffles[s.nextID] = s.newShuffleData(mapParts, reduceParts)
 	return s.nextID
 }
 
@@ -148,21 +239,7 @@ func (s *ShuffleStore) RegisterWithID(id, mapParts, reduceParts int) error {
 		}
 		return nil
 	}
-	chunks := make([][]any, mapParts)
-	for i := range chunks {
-		chunks[i] = make([]any, reduceParts)
-	}
-	owners := make([]int, mapParts)
-	for i := range owners {
-		owners[i] = -1
-	}
-	s.shuffles[id] = &shuffleData{
-		mapParts:    mapParts,
-		reduceParts: reduceParts,
-		chunks:      chunks,
-		written:     make([]bool, mapParts),
-		owners:      owners,
-	}
+	s.shuffles[id] = s.newShuffleData(mapParts, reduceParts)
 	if id > s.nextID {
 		s.nextID = id
 	}
@@ -205,6 +282,20 @@ func (s *ShuffleStore) PutChunksFrom(shuffleID, mapPart, owner int, chunks []any
 		records, bytes = records+r, bytes+b
 	}
 	d.mu.Lock()
+	if s.spill != nil {
+		// A re-put (task retry, recovery) supersedes the previous
+		// attempt wherever it lives: drop its spill file, retire its
+		// accountant ticket, and bump the generation so an in-flight
+		// eviction of the old attempt recognizes it is stale.
+		if d.spilled[mapPart] {
+			os.Remove(s.spillPath(shuffleID, mapPart))
+			d.spilled[mapPart] = false
+		}
+		s.spill.acct.Release(d.handles[mapPart])
+		d.gen[mapPart]++
+		d.bytes[mapPart] = bytes
+		d.handles[mapPart] = s.spill.acct.Admit(bytes, s.evictFunc(shuffleID, mapPart, d.gen[mapPart]))
+	}
 	d.chunks[mapPart] = chunks
 	d.written[mapPart] = true
 	d.owners[mapPart] = owner
@@ -213,7 +304,84 @@ func (s *ShuffleStore) PutChunksFrom(shuffleID, mapPart, owner int, chunks []any
 	d.putBytes.Add(bytes)
 	s.totalRecords.Add(records)
 	s.totalBytes.Add(bytes)
+	if s.spill != nil {
+		s.spill.acct.Evict()
+	}
 	return nil
+}
+
+// evictFunc builds the accountant callback that moves one map
+// partition's chunk list to disk. It runs with no locks held (the
+// accountant's mutex is a leaf) and revalidates under the shuffle lock:
+// a partition dropped, invalidated, or re-put since the handle was
+// admitted is simply stale — the bytes it accounted are already gone
+// from the resident count, so it reports success without writing.
+func (s *ShuffleStore) evictFunc(shuffleID, mapPart int, gen uint64) func() bool {
+	return func() bool {
+		d, ok, _ := s.get(shuffleID, -1)
+		if !ok {
+			return true
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.gen[mapPart] != gen || !d.written[mapPart] || d.spilled[mapPart] {
+			return true
+		}
+		e := &spill.Entry{
+			Space: "shuffle", ID: shuffleID, Part: mapPart,
+			Owner: d.owners[mapPart], Chunks: d.chunks[mapPart],
+		}
+		// The file is written while the partition lock is held, so a
+		// reader can never observe spilled=true before the file exists.
+		if _, err := spill.WriteEntryFile(s.spillPath(shuffleID, mapPart), e); err != nil {
+			s.spill.auditf("spill-fail", float64(d.bytes[mapPart]),
+				fmt.Sprintf("shuffle=%d map=%d: %v", shuffleID, mapPart, err))
+			return false // pin resident: unencodable or disk trouble
+		}
+		d.chunks[mapPart] = nil
+		d.spilled[mapPart] = true
+		d.handles[mapPart] = nil
+		s.spill.acct.NoteSpill(d.bytes[mapPart])
+		s.spill.auditf("spill", float64(d.bytes[mapPart]),
+			fmt.Sprintf("shuffle=%d map=%d owner=%d", shuffleID, mapPart, e.Owner))
+		return true
+	}
+}
+
+// loadSpilled reads one spilled map partition back, validating
+// provenance and geometry. Called with d.mu held (read or write).
+func (s *ShuffleStore) loadSpilled(d *shuffleData, shuffleID, mapPart int) (*spill.Entry, error) {
+	e, err := spill.ReadEntryFile(s.spillPath(shuffleID, mapPart), "shuffle", shuffleID, mapPart)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.Chunks) != d.reduceParts {
+		return nil, fmt.Errorf("engine: spill of shuffle %d map %d holds %d buckets, want %d",
+			shuffleID, mapPart, len(e.Chunks), d.reduceParts)
+	}
+	s.spill.acct.NoteRestore(d.bytes[mapPart])
+	s.spill.auditf("restore", float64(d.bytes[mapPart]),
+		fmt.Sprintf("shuffle=%d map=%d", shuffleID, mapPart))
+	return e, nil
+}
+
+// dropCorruptSpill reacts to an unreadable spill file: if the partition
+// is still the generation that failed, it is marked unwritten so the
+// recovery machinery re-executes it through lineage — the third level
+// of the read path (memory → spill dir → recompute).
+func (s *ShuffleStore) dropCorruptSpill(d *shuffleData, shuffleID, mapPart int, gen uint64, cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gen[mapPart] != gen || !d.written[mapPart] || !d.spilled[mapPart] {
+		return
+	}
+	os.Remove(s.spillPath(shuffleID, mapPart))
+	d.spilled[mapPart] = false
+	d.written[mapPart] = false
+	d.owners[mapPart] = -1
+	d.gen[mapPart]++
+	s.spill.auditf("spill-corrupt", float64(d.bytes[mapPart]),
+		fmt.Sprintf("shuffle=%d map=%d dropped for lineage recompute: %v", shuffleID, mapPart, cause))
 }
 
 // ShuffleVolume returns the cumulative movement through one shuffle
@@ -256,6 +424,14 @@ func (s *ShuffleStore) PutFrom(shuffleID, mapPart, owner int, buckets [][]any) e
 // nil where a map partition produced nothing for this reduce partition.
 // A map partition that has not been written — never materialized, or
 // invalidated by executor loss — yields a MapOutputMissingError.
+//
+// On a budgeted store this is the two-level read path: resident
+// partitions are served from memory (and touched most-recently-used),
+// spilled ones are decoded from their spill files read-through — they
+// stay on disk, so restores never push the store back over budget. A
+// spill file that fails to decode (disk corruption) is dropped and the
+// partition reported missing, which sends the caller down the existing
+// third level: lineage re-execution.
 func (s *ShuffleStore) FetchChunks(shuffleID, reducePart int) ([]any, error) {
 	d, ok, _ := s.get(shuffleID, -1)
 	if !ok {
@@ -265,13 +441,32 @@ func (s *ShuffleStore) FetchChunks(shuffleID, reducePart int) ([]any, error) {
 		return nil, fmt.Errorf("engine: shuffle %d: reduce partition %d out of range", shuffleID, reducePart)
 	}
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	out := make([]any, d.mapParts)
+	var corrupt error
+	corruptPart, corruptGen := -1, uint64(0)
 	for m := 0; m < d.mapParts; m++ {
 		if !d.written[m] {
+			d.mu.RUnlock()
 			return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: m}
 		}
+		if s.spill != nil && d.spilled[m] {
+			e, err := s.loadSpilled(d, shuffleID, m)
+			if err != nil {
+				corrupt, corruptPart, corruptGen = err, m, d.gen[m]
+				break
+			}
+			out[m] = e.Chunks[reducePart]
+			continue
+		}
 		out[m] = d.chunks[m][reducePart]
+		if s.spill != nil {
+			s.spill.acct.Touch(d.handles[m])
+		}
+	}
+	d.mu.RUnlock()
+	if corrupt != nil {
+		s.dropCorruptSpill(d, shuffleID, corruptPart, corruptGen, corrupt)
+		return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: corruptPart}
 	}
 	return out, nil
 }
@@ -293,11 +488,26 @@ func (s *ShuffleStore) FetchChunk(shuffleID, mapPart, reducePart int) (any, erro
 		return nil, fmt.Errorf("engine: shuffle %d: reduce partition %d out of range", shuffleID, reducePart)
 	}
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	if !d.written[mapPart] {
+		d.mu.RUnlock()
 		return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: mapPart}
 	}
-	return d.chunks[mapPart][reducePart], nil
+	if s.spill != nil && d.spilled[mapPart] {
+		e, err := s.loadSpilled(d, shuffleID, mapPart)
+		gen := d.gen[mapPart]
+		d.mu.RUnlock()
+		if err != nil {
+			s.dropCorruptSpill(d, shuffleID, mapPart, gen, err)
+			return nil, &MapOutputMissingError{Shuffle: shuffleID, MapPart: mapPart}
+		}
+		return e.Chunks[reducePart], nil
+	}
+	ch := d.chunks[mapPart][reducePart]
+	if s.spill != nil {
+		s.spill.acct.Touch(d.handles[mapPart])
+	}
+	d.mu.RUnlock()
+	return ch, nil
 }
 
 // Owners returns the producing executor of each map partition, -1 where
@@ -383,6 +593,18 @@ func (s *ShuffleStore) InvalidateOwner(owner int) []LostPart {
 				d.written[m] = false
 				d.chunks[m] = make([]any, d.reduceParts)
 				d.owners[m] = -1
+				if s.spill != nil {
+					// A spilled partition dies with its owner too: the
+					// spill file is the executor's local disk, and a
+					// crashed executor's disk is gone.
+					s.spill.acct.Release(d.handles[m])
+					d.handles[m] = nil
+					if d.spilled[m] {
+						os.Remove(s.spillPath(id, m))
+						d.spilled[m] = false
+					}
+					d.gen[m]++
+				}
 				lost = append(lost, LostPart{Shuffle: id, MapPart: m})
 			}
 		}
@@ -425,11 +647,27 @@ func (s *ShuffleStore) Complete(shuffleID int) bool {
 	return true
 }
 
-// Drop releases a shuffle's buckets.
+// Drop releases a shuffle's buckets, retiring its accountant tickets
+// and spill files on a budgeted store.
 func (s *ShuffleStore) Drop(shuffleID int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	d, ok := s.shuffles[shuffleID]
 	delete(s.shuffles, shuffleID)
+	s.mu.Unlock()
+	if !ok || s.spill == nil {
+		return
+	}
+	d.mu.Lock()
+	for m := 0; m < d.mapParts; m++ {
+		s.spill.acct.Release(d.handles[m])
+		d.handles[m] = nil
+		if d.spilled[m] {
+			os.Remove(s.spillPath(shuffleID, m))
+			d.spilled[m] = false
+		}
+		d.gen[m]++
+	}
+	d.mu.Unlock()
 }
 
 // Len returns the number of registered shuffles.

@@ -33,6 +33,12 @@ type EngineConfig struct {
 	// in milliseconds, so the default is 0.05 — the simulator's 60 s
 	// default would push every time-triggered fault past job end.
 	Horizon float64
+	// MemoryBudget bounds the runtime's resident shuffle/cache bytes;
+	// map outputs spill to disk above it and are restored (or recomputed
+	// via lineage) on demand. 0 keeps everything resident. Tiny budgets
+	// force every trial through the spill path, so faults land on
+	// partitions that live in spill files, not memory.
+	MemoryBudget int64
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -90,6 +96,10 @@ type EngineReport struct {
 	ShuffleBytes   float64
 	// AliveExecutors is the pool size left after the plan's crashes.
 	AliveExecutors int
+	// Spills/Restores count spill-file writes and read-backs when the
+	// trial ran under a MemoryBudget (both zero otherwise).
+	Spills   int64
+	Restores int64
 }
 
 // Failed reports whether the trial violated any invariant.
@@ -98,8 +108,12 @@ func (r *EngineReport) Failed() bool { return len(r.Violations) > 0 }
 // Summary formats the trial outcome as one line.
 func (r *EngineReport) Summary() string {
 	if !r.Failed() {
-		return fmt.Sprintf("ok: %d events, %d shuffle records (%.0f B), %d executors alive",
+		s := fmt.Sprintf("ok: %d events, %d shuffle records (%.0f B), %d executors alive",
 			len(r.Plan.Events), r.ShuffleRecords, r.ShuffleBytes, r.AliveExecutors)
+		if r.Spills > 0 || r.Restores > 0 {
+			s += fmt.Sprintf(", %d spills / %d restores", r.Spills, r.Restores)
+		}
+		return s
 	}
 	return fmt.Sprintf("FAIL: %d events, %d violations: %s",
 		len(r.Plan.Events), len(r.Violations), strings.Join(r.Violations, "; "))
@@ -138,6 +152,7 @@ func RunEnginePlan(cfg EngineConfig, plan fault.Plan) (*EngineReport, error) {
 		CoresPerExecutor: cfg.CoresPerExecutor,
 		MaxTaskFailures:  8,
 		MaxFetchRetries:  5,
+		MemoryBudget:     cfg.MemoryBudget,
 		Faults:           fault.NewInjector(plan),
 	})
 	if err != nil {
@@ -178,6 +193,17 @@ func RunEnginePlan(cfg EngineConfig, plan fault.Plan) (*EngineReport, error) {
 	rep.ShuffleRecords = m.ShuffleRecords()
 	rep.ShuffleBytes = m.ShuffleBytes()
 	rep.AliveExecutors = ctx.Runtime().AliveExecutors()
+	if st, ok := ctx.Runtime().SpillStats(); ok {
+		rep.Spills, rep.Restores = st.Spills, st.Restores
+		if st.Peak > cfg.MemoryBudget {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"stabilized resident peak %d exceeds budget %d", st.Peak, cfg.MemoryBudget))
+		}
+		if st.EncodeFailures != 0 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"%d spill encode failures", st.EncodeFailures))
+		}
+	}
 	// Pair[int64, int64] is 16 bytes; the accounting must agree exactly,
 	// re-puts included.
 	if rep.ShuffleRecords < keys || rep.ShuffleBytes != float64(rep.ShuffleRecords)*16 {

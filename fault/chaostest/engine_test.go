@@ -53,6 +53,55 @@ func TestEngineCrashAtHalfMaps(t *testing.T) {
 	}
 }
 
+// TestEngineTinyBudgetSeedSweep reruns the seed sweep with a budget so
+// small every map output spills: faults now land on partitions living
+// in spill files, exercising eviction racing crash invalidation,
+// restores of re-put generations, and lineage recovery of spilled
+// partitions whose owner died — still judged by exact golden sums.
+func TestEngineTinyBudgetSeedSweep(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		rep, err := RunEngineSeed(EngineConfig{MemoryBudget: 2048}, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d %s", seed, rep.Summary())
+		}
+	}
+}
+
+// TestEngineCrashAfterSpill pins the deterministic two-level-storage
+// trial: under a 1-byte budget every completed map output spills
+// immediately, then an executor crashes — so recovery must both discard
+// that executor's spill files (its "local disk" died with it) and
+// re-run lineage for them, while survivors' partitions restore from
+// disk. The sums must still match the golden exactly.
+func TestEngineCrashAfterSpill(t *testing.T) {
+	cfg := EngineConfig{MemoryBudget: 1}.withDefaults()
+	plan := fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindCrash, Node: 1, AfterTasks: cfg.Parts / 2},
+	}}
+	rep, err := RunEnginePlan(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("%s", rep.Summary())
+	}
+	if rep.AliveExecutors != cfg.Executors-1 {
+		t.Fatalf("AliveExecutors = %d, want %d (crash must have fired)",
+			rep.AliveExecutors, cfg.Executors-1)
+	}
+	if rep.Spills == 0 || rep.Restores == 0 {
+		t.Fatalf("1-byte budget moved no spill traffic: %d spills, %d restores",
+			rep.Spills, rep.Restores)
+	}
+}
+
 // TestEnginePlanValidation: a malformed plan is a setup error, not a
 // violation.
 func TestEnginePlanValidation(t *testing.T) {

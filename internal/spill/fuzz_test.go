@@ -1,0 +1,50 @@
+package spill
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpillFileRoundTrip feeds arbitrary byte streams through the spill
+// codec: truncation, corrupt length prefixes, and bit-flipped bodies
+// must all come back as errors — never a panic, never an allocation
+// anywhere near a corrupt prefix's claim. Anything that does decode
+// must re-encode and decode back to the same entry.
+func FuzzSpillFileRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	Encode(&seed, sampleEntry())
+	f.Add(seed.Bytes())
+	var empty bytes.Buffer
+	Encode(&empty, &Entry{Space: "cache", ID: 1, Part: 2, Owner: -1, Chunks: []any{nil, nil}})
+	f.Add(empty.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 5, 1, 2, 3, 4, 'a', 'b'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Allocation is bounded structurally: frames grow incrementally
+		// (pinned by TestDecodeCorruptPrefixNoOverAllocation) and the
+		// chunk slice is capped, so a corrupt header cannot size it.
+		if len(e.Chunks) > MaxChunks {
+			t.Fatalf("decoded %d chunks past the %d cap", len(e.Chunks), MaxChunks)
+		}
+		var back bytes.Buffer
+		if _, err := Encode(&back, e); err != nil {
+			// A decoded chunk type is by construction gob-encodable.
+			t.Fatalf("re-encode of decoded entry: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(back.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if again.Space != e.Space || again.ID != e.ID || again.Part != e.Part ||
+			again.Owner != e.Owner || len(again.Chunks) != len(e.Chunks) {
+			t.Fatal("round-trip header mismatch")
+		}
+	})
+}

@@ -35,11 +35,16 @@ type Thresholds struct {
 	GatedExtras []string
 }
 
-// DefaultGatedExtras are the shuffle-volume dimensions the perf gate
-// judges by default: the record and byte movement that map-side
-// combining exists to shrink, and that a combiner regression would
-// silently re-inflate.
-var DefaultGatedExtras = []string{"shuffle_records_moved", "shuffle_bytes_moved"}
+// DefaultGatedExtras are the deterministic volume dimensions the perf
+// gate judges by default: the record and byte movement that map-side
+// combining exists to shrink (and that a combiner regression would
+// silently re-inflate), and the spill traffic of the memory-bounded
+// scenario (an eviction-policy regression shows up as extra spill
+// bytes or restores long before it moves wall time).
+var DefaultGatedExtras = []string{
+	"shuffle_records_moved", "shuffle_bytes_moved",
+	"spill_bytes_written", "spill_restores",
+}
 
 func (t Thresholds) withDefaults() Thresholds {
 	if t.MedianDelta <= 0 {

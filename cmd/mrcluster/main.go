@@ -37,7 +37,9 @@ import (
 	"os/exec"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"hpcmr/dist"
 	"hpcmr/fault"
@@ -348,11 +350,21 @@ func chaos(args []string) {
 			fatal("%s run: %v", label, err)
 		}
 		if label == "chaos" {
-			if pc.ExecutorAlive(*victim) {
-				fatal("victim executor %d still alive after its SIGKILL", *victim)
+			// Event-driven: block on the reaper's done channel instead of
+			// probing the process table at a racy instant. A SIGKILLed
+			// victim is observed the moment Wait returns; a survivor
+			// fails deterministically at the deadline, with its log
+			// attached to the failure report.
+			if !pc.WaitExecutorExit(*victim, 10*time.Second) {
+				fatal("victim executor %d still alive after its SIGKILL\nexecutor %d log:\n%s",
+					*victim, *victim, pc.ExecutorLog(*victim))
 			}
 			if alive := pc.Driver.Runtime().AliveExecutors(); alive != *executors-1 {
-				fatal("engine reports %d alive executors, want %d", alive, *executors-1)
+				var logs strings.Builder
+				for id := 0; id < *executors; id++ {
+					fmt.Fprintf(&logs, "\nexecutor %d log:\n%s", id, pc.ExecutorLog(id))
+				}
+				fatal("engine reports %d alive executors, want %d%s", alive, *executors-1, logs.String())
 			}
 		}
 		return out

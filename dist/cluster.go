@@ -35,6 +35,9 @@ type LocalConfig struct {
 	MemoryBudget int64
 	// HeartbeatTimeout overrides the driver's liveness timeout.
 	HeartbeatTimeout time.Duration
+	// DisableLocality reverts the driver to FIFO placement — the A/B
+	// toggle against the default shuffle-locality policy.
+	DisableLocality bool
 	// Logf receives driver and executor progress lines.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +58,7 @@ func StartLocal(cfg LocalConfig) (*LocalCluster, error) {
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		Plan:             cfg.Plan,
 		Killer:           lc.KillExecutor,
+		DisableLocality:  cfg.DisableLocality,
 		Logf:             cfg.Logf,
 	})
 	if err != nil {

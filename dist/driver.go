@@ -38,6 +38,10 @@ type DriverConfig struct {
 	// SIGKILL for process clusters, Executor.Kill for in-process ones.
 	// nil leaves only the connection-drop bookkeeping.
 	Killer func(id int)
+	// DisableLocality reverts the scheduler to FIFO placement instead
+	// of the default shuffle-locality policy — the A/B toggle perf
+	// scenarios use to measure what owner-aware placement saves.
+	DisableLocality bool
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -104,6 +108,12 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 	}
 
 	ecfg := engine.Config{Executors: cfg.Executors, CoresPerExecutor: cfg.CoresPerExecutor}
+	if !cfg.DisableLocality {
+		// Owner-aware placement by default: reduce and superstep tasks
+		// carry preferences from the driver's ownership provenance, and
+		// the policy trades them against the ELB imbalance rule.
+		ecfg.Policy = engine.ShuffleLocality
+	}
 	if len(cfg.Plan.Events) > 0 {
 		if err := cfg.Plan.Validate(); err != nil {
 			return nil, fmt.Errorf("dist: fault plan: %w", err)
@@ -465,6 +475,9 @@ func (d *Driver) RunJob(spec JobSpec) ([]byte, error) {
 	if err := d.WaitReady(10 * time.Second); err != nil {
 		return nil, err
 	}
+	if job.Step != nil && spec.Steps > 0 {
+		return d.runIterativeJob(job, spec)
+	}
 	id := d.rt.Shuffle().Register(spec.MapParts, spec.ReduceParts)
 	defer d.dropShuffle(id)
 	d.logf("job %s: shuffle=%d mapParts=%d reduceParts=%d", spec.Job, id, spec.MapParts, spec.ReduceParts)
@@ -477,12 +490,171 @@ func (d *Driver) RunJob(spec JobSpec) ([]byte, error) {
 		return nil, err
 	}
 
+	results, err := d.runReduceStage(spec, id, func(miss *engine.MapOutputMissingError) error {
+		d.logf("reduce stage missing shuffle %d map partition %d; re-running lost maps", miss.Shuffle, miss.MapPart)
+		return d.rerunMissingMaps(spec, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return job.Merge(spec, results)
+}
+
+// runIterativeJob runs a Step-bearing job as a superstep chain:
+// generation 0 is the map stage's shuffle; each of the Steps superstep
+// stages gathers generation g-1 and writes generation g; the final
+// reduce gathers the last generation. Every stage's tasks carry
+// preferred executors from the driver's ownership provenance
+// (Runtime.ReducePreferences over the gathered generation), so under
+// the shuffle-locality policy a bucket stays on the executor that
+// already holds its data and the superstep fetch is the executor-local
+// zero-copy path. All generations are kept until the job ends:
+// lineage repair after an executor loss re-runs only the missing
+// partitions of earlier generations, in dependency order.
+func (d *Driver) runIterativeJob(job Job, spec JobSpec) ([]byte, error) {
+	gens := make([]int, spec.Steps+1)
+	gens[0] = d.rt.Shuffle().Register(spec.MapParts, spec.ReduceParts)
+	for g := 1; g <= spec.Steps; g++ {
+		gens[g] = d.rt.Shuffle().Register(spec.ReduceParts, spec.ReduceParts)
+	}
+	defer func() {
+		for _, id := range gens {
+			d.dropShuffle(id)
+		}
+	}()
+	d.logf("job %s: iterative steps=%d generations=%v mapParts=%d reduceParts=%d",
+		spec.Job, spec.Steps, gens, spec.MapParts, spec.ReduceParts)
+
+	all := make([]int, spec.MapParts)
+	for i := range all {
+		all[i] = i
+	}
+	if err := d.runMapStage(spec, gens[0], all); err != nil {
+		return nil, err
+	}
+	for g := 1; g <= spec.Steps; g++ {
+		parts := make([]int, spec.ReduceParts)
+		for i := range parts {
+			parts[i] = i
+		}
+		if err := d.runStepParts(spec, gens, g, parts); err != nil {
+			return nil, err
+		}
+	}
+	results, err := d.runReduceStage(spec, gens[spec.Steps], func(miss *engine.MapOutputMissingError) error {
+		d.logf("final reduce missing shuffle %d map partition %d; repairing generation chain", miss.Shuffle, miss.MapPart)
+		return d.repairChain(spec, gens, spec.Steps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return job.Merge(spec, results)
+}
+
+// runStepParts runs (or re-runs) the given partitions of superstep g,
+// preferring each partition's dominant owner of generation g-1. A
+// missing-map-output failure repairs generations 0..g-1 and retries.
+func (d *Driver) runStepParts(spec JobSpec, gens []int, g int, parts []int) error {
+	prefs := d.rt.ReducePreferences([]int{gens[g-1]}, spec.ReduceParts)
+	tasks := make([]engine.TaskSpec, len(parts))
+	for i, p := range parts {
+		p := p
+		var pref []int
+		if p < len(prefs) {
+			pref = prefs[p]
+		}
+		tasks[i] = engine.TaskSpec{Preferred: pref, Run: func(tc *engine.TaskContext) error {
+			return d.runStepTask(spec, gens, g, p, tc)
+		}}
+	}
+	return engine.RunStageRecovering(maxJobRecoveries,
+		func() error { return d.rt.RunStage(fmt.Sprintf("%s-step%d-%d", spec.Job, g, gens[g]), tasks) },
+		func(miss *engine.MapOutputMissingError) error {
+			d.logf("step %d missing shuffle %d map partition %d; repairing generation chain", g, miss.Shuffle, miss.MapPart)
+			return d.repairChain(spec, gens, g-1)
+		})
+}
+
+// repairChain re-executes the missing partitions of generations
+// 0..upto in dependency order — the iterative job's lineage recovery.
+// Re-running a later generation's partitions may itself trip over a
+// lost earlier one; each repaired step stage recovers recursively
+// through runStepParts, bounded by maxJobRecoveries per stage.
+func (d *Driver) repairChain(spec JobSpec, gens []int, upto int) error {
+	for g := 0; g <= upto; g++ {
+		missing := d.rt.Shuffle().MissingParts(gens[g])
+		if len(missing) == 0 {
+			continue
+		}
+		d.logf("repairing generation %d (shuffle %d): partitions %v", g, gens[g], missing)
+		if g == 0 {
+			if err := d.runMapStage(spec, gens[0], missing); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := d.runStepParts(spec, gens, g, missing); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStepTask proxies one superstep task to the executor the engine
+// picked, then records the executor's reported per-bucket volumes in
+// the driver's placeholder provenance row for the next stage's
+// locality scoring.
+func (d *Driver) runStepTask(spec JobSpec, gens []int, g, part int, tc *engine.TaskContext) error {
+	gather := gens[g-1]
+	owners := d.rt.Shuffle().Owners(gather)
+	locs := make([]Loc, len(owners))
+	for m, o := range owners {
+		if o < 0 || d.live.Dead(o) {
+			return &engine.MapOutputMissingError{Shuffle: gather, MapPart: m}
+		}
+		locs[m] = Loc{MapPart: m, Exec: o, Addr: d.shuffleAddrOf(o)}
+	}
+	start := time.Now()
+	done, err := d.dispatch(tc.Executor, &RunTask{
+		Kind: KindStep, Spec: spec, Shuffle: gens[g], Part: part, Attempt: tc.Attempt,
+		Step: g, GatherShuffle: gather, Locations: locs,
+	})
+	if err != nil {
+		return err
+	}
+	if done.UnreachableExec >= 0 {
+		d.executorGone(done.UnreachableExec, fmt.Sprintf("shuffle server unreachable (reported by executor %d)", tc.Executor))
+	}
+	if done.Miss {
+		return &engine.MapOutputMissingError{Shuffle: done.MissShuffle, MapPart: done.MissMapPart}
+	}
+	if done.Err != "" {
+		return errors.New(done.Err)
+	}
+	if err := d.rt.Shuffle().PutChunkMetaFrom(gens[g], part, tc.Executor, done.BucketBytes); err != nil {
+		return err
+	}
+	tc.AddShuffleRecords(done.Records)
+	tc.AddShuffleBytes(float64(done.Bytes))
+	d.emitFetches(gather, part, tc, start, done)
+	return nil
+}
+
+// runReduceStage runs the reduce stage gathering shuffle id, with
+// preferred executors from ownership provenance and the given
+// lineage-repair callback.
+func (d *Driver) runReduceStage(spec JobSpec, id int, repair func(*engine.MapOutputMissingError) error) ([][]byte, error) {
+	prefs := d.rt.ReducePreferences([]int{id}, spec.ReduceParts)
 	results := make([][]byte, spec.ReduceParts)
 	var resMu sync.Mutex
 	tasks := make([]engine.TaskSpec, spec.ReduceParts)
 	for r := 0; r < spec.ReduceParts; r++ {
 		r := r
-		tasks[r] = engine.TaskSpec{Run: func(tc *engine.TaskContext) error {
+		var pref []int
+		if r < len(prefs) {
+			pref = prefs[r]
+		}
+		tasks[r] = engine.TaskSpec{Preferred: pref, Run: func(tc *engine.TaskContext) error {
 			res, err := d.runReduceTask(spec, id, r, tc)
 			if err != nil {
 				return err
@@ -493,12 +665,9 @@ func (d *Driver) RunJob(spec JobSpec) ([]byte, error) {
 			return nil
 		}}
 	}
-	err = engine.RunStageRecovering(maxJobRecoveries,
+	err := engine.RunStageRecovering(maxJobRecoveries,
 		func() error { return d.rt.RunStage(fmt.Sprintf("%s-reduce-%d", spec.Job, id), tasks) },
-		func(miss *engine.MapOutputMissingError) error {
-			d.logf("reduce stage missing shuffle %d map partition %d; re-running lost maps", miss.Shuffle, miss.MapPart)
-			return d.rerunMissingMaps(spec, id)
-		})
+		repair)
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +676,7 @@ func (d *Driver) RunJob(spec JobSpec) ([]byte, error) {
 			return nil, fmt.Errorf("dist: reduce partition %d produced no result", r)
 		}
 	}
-	return job.Merge(spec, results)
+	return results, nil
 }
 
 // runMapStage runs the map tasks for the given partitions.
@@ -534,9 +703,10 @@ func (d *Driver) rerunMissingMaps(spec JobSpec, id int) error {
 
 // runMapTask proxies one map task to the executor the engine picked.
 // The executor keeps the chunks in its local store; the driver records
-// a placeholder row so the shared ShuffleStore tracks who owns each
-// partition — Owners/MissingParts/InvalidateOwner provenance — without
-// holding the data.
+// a placeholder row — carrying the executor-reported per-bucket byte
+// weights — so the shared ShuffleStore tracks who owns each partition
+// and how much, for Owners/MissingParts/InvalidateOwner provenance and
+// locality scoring, without holding the data.
 func (d *Driver) runMapTask(spec JobSpec, id, part int, tc *engine.TaskContext) error {
 	done, err := d.dispatch(tc.Executor, &RunTask{
 		Kind: KindMap, Spec: spec, Shuffle: id, Part: part, Attempt: tc.Attempt,
@@ -547,7 +717,7 @@ func (d *Driver) runMapTask(spec JobSpec, id, part int, tc *engine.TaskContext) 
 	if done.Err != "" {
 		return errors.New(done.Err)
 	}
-	if err := d.rt.Shuffle().PutChunksFrom(id, part, tc.Executor, make([]any, spec.ReduceParts)); err != nil {
+	if err := d.rt.Shuffle().PutChunkMetaFrom(id, part, tc.Executor, done.BucketBytes); err != nil {
 		return err
 	}
 	tc.AddShuffleRecords(done.Records)

@@ -240,6 +240,8 @@ func (e *Executor) execute(t *RunTask) *TaskDone {
 		done = e.runMap(t)
 	case KindReduce:
 		done = e.runReduce(t)
+	case KindStep:
+		done = e.runStep(t)
 	default:
 		done = &TaskDone{Err: fmt.Sprintf("dist: unknown task kind %q", t.Kind),
 			MissMapPart: -1, UnreachableExec: -1}
@@ -275,6 +277,52 @@ func (e *Executor) runMap(t *RunTask) *TaskDone {
 		return done
 	}
 	done.Records, done.Bytes = out.Records, out.Bytes
+	done.BucketBytes = bucketVolumes(out.Buckets)
+	return done
+}
+
+// runStep executes one superstep of an iterative job: gather the
+// previous generation's shuffle (zero-copy for self-owned partitions,
+// network for the rest — under the stable partitioner and locality
+// placement nearly everything is self-owned), apply Job.Step, and
+// write the next generation into the local store.
+func (e *Executor) runStep(t *RunTask) *TaskDone {
+	done := &TaskDone{MissMapPart: -1, UnreachableExec: -1}
+	job, err := LookupJob(t.Spec.Job)
+	if err != nil {
+		done.Err = err.Error()
+		return done
+	}
+	if job.Step == nil {
+		done.Err = fmt.Sprintf("dist: job %q has no step function", t.Spec.Job)
+		return done
+	}
+	fetchStart := time.Now()
+	chunks, err := e.gather(t.GatherShuffle, t.Locations, t.Part, done)
+	done.FetchSeconds = time.Since(fetchStart).Seconds()
+	if err != nil {
+		var miss *engine.MapOutputMissingError
+		if errors.As(err, &miss) {
+			done.Miss, done.MissShuffle, done.MissMapPart = true, miss.Shuffle, miss.MapPart
+		}
+		done.Err = err.Error()
+		return done
+	}
+	out, err := job.Step(t.Spec, t.Step, t.Part, chunks)
+	if err != nil {
+		done.Err = err.Error()
+		return done
+	}
+	if err := e.store.RegisterWithID(t.Shuffle, t.Spec.ReduceParts, t.Spec.ReduceParts); err != nil {
+		done.Err = err.Error()
+		return done
+	}
+	if err := e.store.PutChunksFrom(t.Shuffle, t.Part, e.cfg.ID, out.Buckets); err != nil {
+		done.Err = err.Error()
+		return done
+	}
+	done.Records, done.Bytes = out.Records, out.Bytes
+	done.BucketBytes = bucketVolumes(out.Buckets)
 	return done
 }
 
@@ -286,7 +334,7 @@ func (e *Executor) runReduce(t *RunTask) *TaskDone {
 		return done
 	}
 	fetchStart := time.Now()
-	chunks, err := e.gather(t, done)
+	chunks, err := e.gather(t.Shuffle, t.Locations, t.Part, done)
 	done.FetchSeconds = time.Since(fetchStart).Seconds()
 	if err != nil {
 		var miss *engine.MapOutputMissingError
@@ -305,18 +353,19 @@ func (e *Executor) runReduce(t *RunTask) *TaskDone {
 	return done
 }
 
-// gather pulls every map partition's chunk for the task's reduce
-// partition: the executor's own partitions come zero-copy from the
-// local store; each remote peer is asked once for all of its partitions
-// in one batched request, under the engine's bounded retry/backoff. A
-// peer unreachable after retries is reported via done.UnreachableExec
-// so the driver can treat the fetch failure as executor loss.
-func (e *Executor) gather(t *RunTask, done *TaskDone) ([]any, error) {
-	chunks := make([]any, t.Spec.MapParts)
+// gather pulls every map partition's chunk of reduce partition part
+// from the given shuffle: the executor's own partitions come zero-copy
+// from the local store; each remote peer is asked once for all of its
+// partitions in one batched request, under the engine's bounded
+// retry/backoff. locations must cover map partitions 0..len-1. A peer
+// unreachable after retries is reported via done.UnreachableExec so
+// the driver can treat the fetch failure as executor loss.
+func (e *Executor) gather(shuffle int, locations []Loc, part int, done *TaskDone) ([]any, error) {
+	chunks := make([]any, len(locations))
 	byOwner := make(map[int][]Loc)
-	for _, loc := range t.Locations {
+	for _, loc := range locations {
 		if loc.Exec < 0 {
-			return nil, &engine.MapOutputMissingError{Shuffle: t.Shuffle, MapPart: loc.MapPart}
+			return nil, &engine.MapOutputMissingError{Shuffle: shuffle, MapPart: loc.MapPart}
 		}
 		byOwner[loc.Exec] = append(byOwner[loc.Exec], loc)
 	}
@@ -329,7 +378,7 @@ func (e *Executor) gather(t *RunTask, done *TaskDone) ([]any, error) {
 		locs := byOwner[owner]
 		if owner == e.cfg.ID {
 			for _, loc := range locs {
-				ch, err := e.store.FetchChunk(t.Shuffle, loc.MapPart, t.Part)
+				ch, err := e.store.FetchChunk(shuffle, loc.MapPart, part)
 				if err != nil {
 					return nil, err
 				}
@@ -358,7 +407,7 @@ func (e *Executor) gather(t *RunTask, done *TaskDone) ([]any, error) {
 					}
 				}
 				var ferr error
-				fetched, ferr = FetchPeerChunks(addr, t.Shuffle, t.Part, parts)
+				fetched, ferr = FetchPeerChunks(addr, shuffle, part, parts)
 				return ferr
 			})
 		if err != nil {
@@ -384,3 +433,18 @@ const (
 	defaultFetchRetries = 3
 	defaultFetchBackoff = 2 * time.Millisecond
 )
+
+// bucketVolumes measures each bucket chunk's in-memory volume — the
+// per-reduce-bucket weights the driver records against its placeholder
+// ownership row for locality scoring.
+func bucketVolumes(buckets []any) []int64 {
+	out := make([]int64, len(buckets))
+	for i, ch := range buckets {
+		if ch == nil {
+			continue
+		}
+		_, b := engine.ChunkVolume(ch)
+		out[i] = b
+	}
+	return out
+}

@@ -162,3 +162,53 @@ func FuzzCodecRecv(f *testing.F) {
 		_ = gob.NewDecoder(bytes.NewReader(payload)).Decode(&w)
 	})
 }
+
+// FuzzFrameRoundTrip drives the forward direction: any payload written
+// by WriteFrame must come back byte-identical through ReadFrame —
+// including back-to-back frames on one stream — and must be rejected
+// with ErrFrameTooLarge (never a panic or short read) when the
+// reader's limit is below the payload size.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), []byte("second"))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte("payload"), []byte(nil))
+	f.Add(bytes.Repeat([]byte{0xa5}, frameGrowStep+3), []byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, a); err != nil {
+			t.Fatalf("write a: %v", err)
+		}
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatalf("write b: %v", err)
+		}
+		stream := append([]byte(nil), buf.Bytes()...)
+
+		for i, want := range [][]byte{a, b} {
+			got, err := ReadFrame(&buf, 0)
+			if err != nil {
+				t.Fatalf("read frame %d: %v", i, err)
+			}
+			if len(want) == 0 {
+				if got != nil {
+					t.Fatalf("frame %d: empty payload came back as %d bytes", i, len(got))
+				}
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame %d: round-trip mismatch (%d vs %d bytes)", i, len(got), len(want))
+			}
+		}
+		if _, err := ReadFrame(&buf, 0); err != io.EOF {
+			t.Fatalf("stream end: got %v, want io.EOF", err)
+		}
+
+		// An undersized reader limit must reject frame a cleanly.
+		if len(a) > 1 {
+			_, err := ReadFrame(bytes.NewReader(stream), len(a)-1)
+			var tooBig *ErrFrameTooLarge
+			if !errors.As(err, &tooBig) {
+				t.Fatalf("limit %d on %d-byte payload: got %v, want ErrFrameTooLarge", len(a)-1, len(a), err)
+			}
+		}
+	})
+}

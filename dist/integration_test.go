@@ -104,13 +104,10 @@ func TestProcClusterSIGKILLRecovery(t *testing.T) {
 	checkKeyedSum(t, got, spec.Records, spec.Keys)
 
 	// The kill must have been real: executor 1's process is gone while
-	// the other two survive, and the engine agrees.
-	deadline := time.Now().Add(5 * time.Second)
-	for pc.ExecutorAlive(1) && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if pc.ExecutorAlive(1) {
-		t.Error("executor 1's process survived its SIGKILL")
+	// the other two survive, and the engine agrees. WaitExecutorExit
+	// blocks on the reaper's done channel — no sleep polling.
+	if !pc.WaitExecutorExit(1, 5*time.Second) {
+		t.Errorf("executor 1's process survived its SIGKILL\nexecutor 1 log:\n%s", pc.ExecutorLog(1))
 	}
 	for _, id := range []int{0, 2} {
 		if !pc.ExecutorAlive(id) {
@@ -147,12 +144,10 @@ func TestProcClusterSubmitAndShutdown(t *testing.T) {
 	if err := ShutdownCluster(pc.Driver.ClientAddr()); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if !pc.ExecutorAlive(0) && !pc.ExecutorAlive(1) {
-			return
+	for id := 0; id < 2; id++ {
+		if !pc.WaitExecutorExit(id, 5*time.Second) {
+			t.Fatalf("executor %d still alive after ShutdownCluster\nexecutor %d log:\n%s",
+				id, id, pc.ExecutorLog(id))
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
-	t.Fatal("executor processes still alive after ShutdownCluster")
 }

@@ -20,11 +20,15 @@ type JobSpec struct {
 	// MapParts/ReduceParts shape the shuffle (defaults: 2x executors
 	// and executors, resolved by the driver).
 	MapParts, ReduceParts int
-	// Records/Keys parameterize keyed-sum.
+	// Records/Keys parameterize keyed-sum; Records is the node count of
+	// pagerank.
 	Records, Keys int64
 	// Path is wordcount's input file (shared filesystem — the cluster
 	// is N local processes).
 	Path string
+	// Steps is the superstep count of an iterative job (pagerank); jobs
+	// without a Step function ignore it.
+	Steps int
 }
 
 // MapOutput is one map task's result: exactly ReduceParts bucket
@@ -46,6 +50,12 @@ type Job struct {
 	Map    func(spec JobSpec, part int) (MapOutput, error)
 	Reduce func(spec JobSpec, part int, chunks []any) ([]byte, error)
 	Merge  func(spec JobSpec, parts [][]byte) ([]byte, error)
+	// Step, when set, makes the job iterative: with spec.Steps > 0 the
+	// driver runs Map once (generation 0), then Steps superstep stages
+	// — each gathers the previous generation's shuffle and writes the
+	// next — and finally Reduce over the last generation. Step must be
+	// as deterministic as the other three.
+	Step func(spec JobSpec, step, part int, chunks []any) (MapOutput, error)
 }
 
 var jobs = map[string]Job{}
@@ -282,6 +292,22 @@ func (s JobSpec) withDefaults(executors int) (JobSpec, error) {
 	case "wordcount":
 		if s.Path == "" {
 			return s, fmt.Errorf("dist: wordcount needs a Path")
+		}
+	case "pagerank":
+		// Square geometry: map partition p seeds exactly reduce bucket
+		// p, so every generation is bucket-aligned and the stable
+		// partitioner gives each bucket a sole owner from the start.
+		s.MapParts = s.ReduceParts
+		if s.Steps <= 0 {
+			s.Steps = 4
+		}
+		if s.Records <= 0 {
+			s.Records = 4096
+		}
+		// Node count must divide evenly into buckets so intra-bucket
+		// edges (n + k*ReduceParts mod N) stay in bucket n%ReduceParts.
+		if rem := s.Records % int64(s.ReduceParts); rem != 0 {
+			s.Records += int64(s.ReduceParts) - rem
 		}
 	}
 	if _, err := LookupJob(s.Job); err != nil {

@@ -180,6 +180,34 @@ func (pc *ProcCluster) ExecutorAlive(id int) bool {
 	return p != nil && !p.exited()
 }
 
+// WaitExecutorExit blocks until executor id's process has been reaped
+// or the timeout elapses, reporting whether it exited. Event-driven:
+// it selects on the reaper's done channel instead of polling the
+// process table, so a kill is observed the moment Wait returns and a
+// survivor fails fast at the deadline, deterministically.
+func (pc *ProcCluster) WaitExecutorExit(id int, timeout time.Duration) bool {
+	p := pc.proc(id)
+	if p == nil {
+		return true
+	}
+	select {
+	case <-p.done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// ExecutorLog returns executor id's captured output so far — what
+// failure reports attach when an executor misbehaves.
+func (pc *ProcCluster) ExecutorLog(id int) string {
+	data, err := os.ReadFile(filepath.Join(pc.logDir, fmt.Sprintf("executor-%d.log", id)))
+	if err != nil {
+		return fmt.Sprintf("<no executor %d log: %v>", id, err)
+	}
+	return string(data)
+}
+
 // Close shuts the driver down, reaps every executor process (SIGKILL if
 // still running after a grace period), and closes the log files.
 func (pc *ProcCluster) Close() {

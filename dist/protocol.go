@@ -63,23 +63,32 @@ type Loc struct {
 	Addr    string
 }
 
-// RunTask dispatches one task attempt to an executor. Kind is "map" or
-// "reduce"; Locations is only set for reduce tasks and lists every map
-// partition's owner as of dispatch time.
+// RunTask dispatches one task attempt to an executor. Kind is "map",
+// "reduce", or "step"; Locations is set for reduce and step tasks and
+// lists every gathered map partition's owner as of dispatch time. Step
+// tasks additionally carry the superstep index and the shuffle they
+// gather from (GatherShuffle, the previous generation), while Shuffle
+// names the one they write into.
 type RunTask struct {
-	Seq       uint64
-	Kind      string
-	Spec      JobSpec
-	Shuffle   int
-	Part      int
-	Attempt   int
-	Locations []Loc
+	Seq           uint64
+	Kind          string
+	Spec          JobSpec
+	Shuffle       int
+	Part          int
+	Attempt       int
+	Step          int
+	GatherShuffle int
+	Locations     []Loc
 }
 
 // Task kinds.
 const (
 	KindMap    = "map"
 	KindReduce = "reduce"
+	// KindStep is one superstep task of an iterative job: gather the
+	// previous generation's shuffle, apply Job.Step, write the next
+	// generation.
+	KindStep = "step"
 )
 
 // TaskDone reports one task attempt's outcome back to the driver.
@@ -97,9 +106,13 @@ type TaskDone struct {
 	// could not be reached after bounded retries — the fetch-failure
 	// signal the driver treats as an executor loss.
 	UnreachableExec int
-	// Records/Bytes are the shuffle volume a map task wrote.
+	// Records/Bytes are the shuffle volume a map or step task wrote.
 	Records int64
 	Bytes   int64
+	// BucketBytes is the written volume per reduce bucket — the weights
+	// the driver records against its placeholder ownership row so
+	// locality scoring can rank owners without holding the data.
+	BucketBytes []int64
 	// Local*/Remote* split a reduce task's fetched volume by path: local
 	// chunks came zero-copy from the executor's own store, remote ones
 	// over the network shuffle service.

@@ -36,6 +36,12 @@ const (
 	// CADThrottled paces dispatch with Congestion-Aware Dispatching
 	// over a FIFO base.
 	CADThrottled
+	// ShuffleLocality composes no-wait shuffle locality with the ELB
+	// imbalance rule: a slot first takes a task preferring its node
+	// (the co-located zero-copy shuffle path), but a node over the ELB
+	// threshold is paused even for its local work. Task preferences
+	// come from Runtime.ReducePreferences.
+	ShuffleLocality
 )
 
 func (k PolicyKind) String() string {
@@ -48,6 +54,8 @@ func (k PolicyKind) String() string {
 		return "elb"
 	case CADThrottled:
 		return "cad"
+	case ShuffleLocality:
+		return "shuffle-locality"
 	default:
 		return "fifo"
 	}
@@ -183,6 +191,10 @@ func (c Config) newPolicy() sched.Policy {
 		return p
 	case CADThrottled:
 		p := sched.NewCAD(sched.NewFIFO())
+		p.Audit = c.SchedAudit
+		return p
+	case ShuffleLocality:
+		p := sched.NewShuffleLocality(c.Executors, c.ELBThreshold)
 		p.Audit = c.SchedAudit
 		return p
 	default:

@@ -332,7 +332,17 @@ func (rt *Runtime) FetchShuffle(tc *TaskContext, shuffleID, reducePart int) ([][
 // FetchShuffleChunks fetches one reduce partition as stored chunks (one
 // boxed typed slice per map partition, nil where empty) with the same
 // retry and missing-output semantics as FetchShuffle. This is the hot
-// path the rdd reduce side uses: no flattening, no per-record boxing.
+// path the rdd reduce side uses — and the co-located zero-copy path:
+// the stored typed slices are handed back directly, no gob box, no
+// copy, under the chunk immutability contract (a chunk sunk into the
+// store is never mutated, so aliasing it out is safe).
+//
+// When listeners are subscribed, the fetched volume is split by
+// ownership: chunks whose producing executor is the fetching task's
+// executor report as a local (owner == runner) fetch event, the rest as
+// a remote one — in-process both are pointer reads, but the split is
+// exactly the volume that would cross the network in the distributed
+// runtime, and it is what the shuffle-locality placement optimizes.
 func (rt *Runtime) FetchShuffleChunks(tc *TaskContext, shuffleID, reducePart int) ([]any, error) {
 	start := time.Now()
 	var out []any
@@ -345,12 +355,35 @@ func (rt *Runtime) FetchShuffleChunks(tc *TaskContext, shuffleID, reducePart int
 		return nil, err
 	}
 	if rt.listeners.active() {
-		var records, bytes int64
-		for _, ch := range out {
+		owners := rt.shuffle.Owners(shuffleID)
+		var lr, lb, rr, rb int64
+		for m, ch := range out {
 			r, by := chunkVolume(ch)
-			records, bytes = records+r, bytes+by
+			if m < len(owners) && owners[m] == tc.Executor {
+				lr, lb = lr+r, lb+by
+			} else {
+				rr, rb = rr+r, rb+by
+			}
 		}
-		rt.notifyFetch(tc, shuffleID, reducePart, start, records, bytes)
+		base := FetchEvent{
+			Shuffle:    shuffleID,
+			ReducePart: reducePart,
+			TaskID:     tc.TaskID,
+			Attempt:    tc.Attempt,
+			Executor:   tc.Executor,
+			Start:      start,
+			Duration:   time.Since(start).Seconds(),
+		}
+		if lr > 0 || lb > 0 || (rr == 0 && rb == 0) {
+			e := base
+			e.Records, e.Bytes = lr, float64(lb)
+			rt.listeners.fetch(e)
+		}
+		if rr > 0 || rb > 0 {
+			e := base
+			e.Records, e.Bytes, e.Remote = rr, float64(rb), true
+			rt.listeners.fetch(e)
+		}
 	}
 	return out, nil
 }
@@ -503,12 +536,15 @@ func (rt *Runtime) launchAttempt(st *stageState, d sched.Decision, exec int) {
 // routine completions do not bounce through a cond-broadcast and a
 // driver wakeup per task.
 type stageState struct {
-	rt       *Runtime
-	stageID  int
-	name     string
-	policy   sched.Policy
-	tasks    []TaskSpec
-	attempts []int
+	rt      *Runtime
+	stageID int
+	name    string
+	policy  sched.Policy
+	// breadthFirst makes dispatch sweep executors one core at a time
+	// (set when the policy implements sched.BreadthFirstOfferer).
+	breadthFirst bool
+	tasks        []TaskSpec
+	attempts     []int
 
 	mu            sync.Mutex
 	cond          *sync.Cond
@@ -575,6 +611,9 @@ func (rt *Runtime) RunStage(name string, tasks []TaskSpec) error {
 		done:       make([]bool, len(tasks)),
 		running:    make(map[int]time.Time),
 		speculated: make(map[int]bool),
+	}
+	if bf, ok := st.policy.(sched.BreadthFirstOfferer); ok {
+		st.breadthFirst = bf.BreadthFirstOffers()
 	}
 	st.cond = sync.NewCond(&st.mu)
 	// One contiguous backing array serves every task's first (and almost
@@ -735,23 +774,60 @@ func (st *stageState) dispatchLocked() {
 			st.inFlight++
 			st.rt.launchAttempt(st, sched.Decision{TaskID: id, Local: false}, best)
 		}
-		for exec := range st.idle {
-			for st.idle[exec] > 0 {
-				d := st.policy.Offer(exec, st.now())
-				if d.TaskID < 0 {
-					if d.Retry > 0 {
-						st.scheduleRetry(d.Retry)
+		if st.breadthFirst {
+			// Round-robin sweep: one core per executor per pass, so every
+			// executor is offered a slot before any executor's second
+			// core can steal (popAny) a task preferring a node not yet
+			// offered. Declines are sticky within one dispatch round —
+			// the queue only shrinks and pause state only changes on
+			// completions, so a declined executor stays declined.
+			declined := make([]bool, len(st.idle))
+			for {
+				progressed := false
+				for exec := range st.idle {
+					if st.idle[exec] == 0 || declined[exec] {
+						continue
 					}
+					d := st.policy.Offer(exec, st.now())
+					if d.TaskID < 0 {
+						if d.Retry > 0 {
+							st.scheduleRetry(d.Retry)
+						}
+						declined[exec] = true
+						continue
+					}
+					if st.done[d.TaskID] {
+						progressed = true
+						continue
+					}
+					st.idle[exec]--
+					st.inFlight++
+					progressed = true
+					st.rt.launchAttempt(st, d, exec)
+				}
+				if !progressed {
 					break
 				}
-				if st.done[d.TaskID] {
-					// The policy re-issued a task the stage already
-					// force-dispatched; drop the stale assignment.
-					continue
+			}
+		} else {
+			for exec := range st.idle {
+				for st.idle[exec] > 0 {
+					d := st.policy.Offer(exec, st.now())
+					if d.TaskID < 0 {
+						if d.Retry > 0 {
+							st.scheduleRetry(d.Retry)
+						}
+						break
+					}
+					if st.done[d.TaskID] {
+						// The policy re-issued a task the stage already
+						// force-dispatched; drop the stale assignment.
+						continue
+					}
+					st.idle[exec]--
+					st.inFlight++
+					st.rt.launchAttempt(st, d, exec)
 				}
-				st.idle[exec]--
-				st.inFlight++
-				st.rt.launchAttempt(st, d, exec)
 			}
 		}
 		// Wedge breaker: nothing is running, nothing is queued, no

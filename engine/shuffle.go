@@ -93,6 +93,13 @@ type shuffleData struct {
 	bytes   []int64
 	handles []*spill.Handle
 
+	// metaBytes holds per-reduce-bucket byte weights for placeholder
+	// rows written with PutChunkMetaFrom — the distributed driver's
+	// form, where the chunks live in executor stores and only ownership
+	// plus weight is mirrored here. nil per map partition when the row
+	// holds real chunks.
+	metaBytes [][]int64
+
 	// Cumulative movement through this shuffle: every record/byte ever
 	// put, including re-puts from retried or recovered map tasks — the
 	// write amplification a fault run actually paid, not just the
@@ -299,6 +306,9 @@ func (s *ShuffleStore) PutChunksFrom(shuffleID, mapPart, owner int, chunks []any
 	d.chunks[mapPart] = chunks
 	d.written[mapPart] = true
 	d.owners[mapPart] = owner
+	if d.metaBytes != nil {
+		d.metaBytes[mapPart] = nil // real chunks supersede placeholder weights
+	}
 	d.mu.Unlock()
 	d.putRecords.Add(records)
 	d.putBytes.Add(bytes)
@@ -417,6 +427,108 @@ func (s *ShuffleStore) PutFrom(shuffleID, mapPart, owner int, buckets [][]any) e
 		}
 	}
 	return s.PutChunksFrom(shuffleID, mapPart, owner, chunks)
+}
+
+// PutChunkMetaFrom records ownership of a map partition without
+// holding its data: the placeholder row the distributed driver writes
+// when the chunks stay in the producing executor's local store.
+// bucketBytes, when non-nil, carries the partition's per-reduce-bucket
+// byte weights (len reduceParts) so locality scoring sees the same
+// volumes the owning executor accounted; nil records ownership only.
+// Banned-writer and re-put semantics match PutChunksFrom. Placeholder
+// rows contribute nothing to the store's movement counters — the data
+// never moved through this store.
+func (s *ShuffleStore) PutChunkMetaFrom(shuffleID, mapPart, owner int, bucketBytes []int64) error {
+	d, ok, banned := s.get(shuffleID, owner)
+	if !ok {
+		return fmt.Errorf("engine: unknown shuffle %d", shuffleID)
+	}
+	if banned {
+		return fmt.Errorf("engine: shuffle %d: write from executor %d: %w", shuffleID, owner, ErrExecutorLost)
+	}
+	if mapPart < 0 || mapPart >= d.mapParts {
+		return fmt.Errorf("engine: shuffle %d: map partition %d out of range", shuffleID, mapPart)
+	}
+	if bucketBytes != nil && len(bucketBytes) != d.reduceParts {
+		return fmt.Errorf("engine: shuffle %d: got %d bucket weights, want %d", shuffleID, len(bucketBytes), d.reduceParts)
+	}
+	d.mu.Lock()
+	d.chunks[mapPart] = make([]any, d.reduceParts)
+	d.written[mapPart] = true
+	d.owners[mapPart] = owner
+	if d.metaBytes == nil {
+		d.metaBytes = make([][]int64, d.mapParts)
+	}
+	d.metaBytes[mapPart] = bucketBytes
+	d.mu.Unlock()
+	return nil
+}
+
+// OwnerReduceBytes scores, for every reduce partition of a shuffle, the
+// effective map-output bytes each executor holds — the input to
+// locality placement. Resident chunks count their accounted volume; a
+// placeholder row (PutChunkMetaFrom) counts its recorded bucket
+// weights, or one nominal byte per bucket when ownership was recorded
+// without weights; a spilled partition's per-bucket share is multiplied
+// by spillDiscount, since a co-located read of it is a disk restore,
+// not a pointer hand-off. Executors outside [0, executors) and
+// unwritten partitions contribute nothing. The result is
+// [reducePart][executor].
+func (s *ShuffleStore) OwnerReduceBytes(shuffleID, executors int, spillDiscount float64) [][]float64 {
+	d, ok, _ := s.get(shuffleID, -1)
+	if !ok || executors <= 0 {
+		return nil
+	}
+	out := make([][]float64, d.reduceParts)
+	for r := range out {
+		out[r] = make([]float64, executors)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for m := 0; m < d.mapParts; m++ {
+		o := d.owners[m]
+		if !d.written[m] || o < 0 || o >= executors {
+			continue
+		}
+		if d.metaBytes != nil && d.metaBytes[m] != nil {
+			for r, b := range d.metaBytes[m] {
+				out[r][o] += float64(b)
+			}
+			continue
+		}
+		if d.spilled != nil && d.spilled[m] {
+			share := float64(d.bytes[m]) / float64(d.reduceParts) * spillDiscount
+			for r := range out {
+				out[r][o] += share
+			}
+			continue
+		}
+		if len(d.chunks[m]) == 0 || !anyChunkWritten(d.chunks[m]) {
+			// Ownership-only row (weightless placeholder, or a map
+			// partition that genuinely produced nothing): one nominal
+			// byte per bucket, so a sole owner still outranks nobody.
+			for r := range out {
+				out[r][o]++
+			}
+			continue
+		}
+		for r, ch := range d.chunks[m] {
+			if _, b := chunkVolume(ch); b > 0 {
+				out[r][o] += float64(b)
+			}
+		}
+	}
+	return out
+}
+
+// anyChunkWritten reports whether any bucket of a row holds data.
+func anyChunkWritten(row []any) bool {
+	for _, ch := range row {
+		if ch != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // FetchChunks returns one chunk per map partition for the given reduce
@@ -593,6 +705,9 @@ func (s *ShuffleStore) InvalidateOwner(owner int) []LostPart {
 				d.written[m] = false
 				d.chunks[m] = make([]any, d.reduceParts)
 				d.owners[m] = -1
+				if d.metaBytes != nil {
+					d.metaBytes[m] = nil
+				}
 				if s.spill != nil {
 					// A spilled partition dies with its owner too: the
 					// spill file is the executor's local disk, and a

@@ -1,0 +1,78 @@
+package sched
+
+import "fmt"
+
+// ShuffleLocality composes no-wait shuffle locality with the ELB
+// imbalance rule (the M3R-style placement the engine's shuffle scorer
+// feeds): a free slot first takes a task whose preferred owner is the
+// offering node — the co-located zero-copy path — then a
+// preference-free task, then any task. The ELB 25% rule is traded
+// against locality rather than overridden: a node paused for imbalance
+// receives nothing, even its own local tasks, until the cluster
+// average catches up. Locality never waits — a slot with no local work
+// launches remote work immediately (Section V-A: waiting is what hurts
+// on HPC systems, preferring is free).
+type ShuffleLocality struct {
+	*ELB
+}
+
+// BreadthFirstOfferer is implemented by policies that need stage
+// dispatch to offer slots breadth-first — one core per executor per
+// sweep — instead of draining each executor's cores before moving to
+// the next. Locality placement needs this: with depth-first offers,
+// the first executor's spare cores would steal (popAny) tasks
+// preferring executors that have not been offered a slot yet.
+type BreadthFirstOfferer interface {
+	BreadthFirstOffers() bool
+}
+
+// BreadthFirstOffers marks ShuffleLocality for round-robin slot
+// offers, so each owner sees its local work before anyone may steal it.
+func (p *ShuffleLocality) BreadthFirstOffers() bool { return true }
+
+// NewShuffleLocality returns the locality+ELB composite for a cluster
+// of the given size. Like ELB, intermediate-data accounting persists
+// for the policy value's lifetime.
+func NewShuffleLocality(nodes int, threshold float64) *ShuffleLocality {
+	return &ShuffleLocality{ELB: NewELB(nodes, threshold)}
+}
+
+// Offer implements Policy: ELB pause first, then local > no-pref > any.
+func (p *ShuffleLocality) Offer(node int, now float64) Decision {
+	if p.q == nil || p.q.len() == 0 {
+		return Decline(0)
+	}
+	if p.Paused(node) {
+		// The imbalance rule wins the trade: decline even if this node
+		// holds local work, and re-offer on the next completion.
+		p.Audit.emit(AuditEvent{
+			Policy: "locality", Kind: "elb-veto", Node: node,
+			Value:  p.nodeBytes[node],
+			Detail: fmt.Sprintf("load=%.4g avg=%.4g pending=%d t=%.3f", p.nodeBytes[node], p.average(), p.q.len(), now),
+		})
+		return Decline(0)
+	}
+	if t, ok := p.q.popLocal(node); ok {
+		p.Audit.emit(AuditEvent{
+			Policy: "locality", Kind: "local", Node: node,
+			Value:  float64(t.ID),
+			Detail: fmt.Sprintf("task=%d t=%.3f", t.ID, now),
+		})
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	if t, ok := p.q.popNoPref(); ok {
+		return Decision{TaskID: t.ID, Local: true}
+	}
+	t, ok := p.q.popAny()
+	if !ok {
+		return Decline(0)
+	}
+	// A task with a preference launched off its preferred owner: the
+	// fetch will cross executors (the network in dist).
+	p.Audit.emit(AuditEvent{
+		Policy: "locality", Kind: "remote", Node: node,
+		Value:  float64(t.ID),
+		Detail: fmt.Sprintf("task=%d preferred=%v t=%.3f", t.ID, t.PreferredNodes, now),
+	})
+	return Decision{TaskID: t.ID, Local: isLocal(t, node)}
+}

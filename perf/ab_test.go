@@ -49,3 +49,47 @@ func TestMapSideCombineABGate(t *testing.T) {
 			combined.Stats.MedianNs/1e6, disabled.Stats.MedianNs/1e6, p)
 	}
 }
+
+// TestPagerankLocalityABGate is the acceptance A/B for shuffle-locality
+// placement: the iterative pagerank scenario with placement on must
+// resolve >= 90% of its gather bytes through the co-located zero-copy
+// path and beat the locality-disabled twin's wall time by a
+// statistically significant margin (Mann-Whitney, p < 0.05) on a
+// single-node 4-executor cluster. The disabled twin pays gob
+// encode/decode and loopback TCP for almost every gather, so the
+// superstep win is structural, not marginal.
+func TestPagerankLocalityABGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full A/B measurement in -short")
+	}
+	run := func(name string) *ScenarioResult {
+		scens, err := Select(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunScenarios(scens, RunOptions{Short: true, Reps: 9, Warmup: 2}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Scenario(name)
+	}
+	local := run("engine/iterative-pagerank")
+	remote := run("engine/iterative-pagerank-nolocality")
+
+	ratio, ok := local.Extra["shuffle_local_fetch_ratio"]
+	if !ok {
+		t.Fatalf("locality scenario reported no shuffle_local_fetch_ratio: %v", local.Extra)
+	}
+	if ratio < 0.9 {
+		t.Fatalf("local fetch ratio %.4f, want >= 0.9", ratio)
+	}
+	if lb, rb := local.Extra["remote_fetch_bytes"], remote.Extra["remote_fetch_bytes"]; lb >= rb {
+		t.Fatalf("locality-on moved %.0f remote bytes, not below locality-off's %.0f", lb, rb)
+	}
+
+	p := MannWhitneyU(local.SamplesNs, remote.SamplesNs)
+	if local.Stats.MedianNs >= remote.Stats.MedianNs || p >= 0.05 {
+		t.Fatalf("locality not significantly faster: median %.2fms vs %.2fms, p=%.4f",
+			local.Stats.MedianNs/1e6, remote.Stats.MedianNs/1e6, p)
+	}
+}

@@ -44,6 +44,18 @@ type Thresholds struct {
 var DefaultGatedExtras = []string{
 	"shuffle_records_moved", "shuffle_bytes_moved",
 	"spill_bytes_written", "spill_restores",
+	"shuffle_local_fetch_ratio",
+}
+
+// higherIsBetterExtras marks gated extras where a DROP is the
+// regression: ratios of good outcomes (the locality hit rate), not
+// volume counters. The judgement sign flips for these — growth is an
+// improvement, shrinkage past ExtraDelta fails the gate. Keys absent
+// from either report are still skipped, so baselines recorded before a
+// ratio existed never fail against it (the same rule alloc gating uses
+// for pre-SamplesAllocs baselines).
+var higherIsBetterExtras = map[string]bool{
+	"shuffle_local_fetch_ratio": true,
 }
 
 func (t Thresholds) withDefaults() Thresholds {
@@ -155,11 +167,17 @@ func Compare(base, cur *Report, th Thresholds) *Comparison {
 				}
 				ev := ExtraVerdict{Key: key, Base: bv, Cur: cv}
 				ev.Delta = (cv - bv) / max(bv, 1)
+				judged := ev.Delta
+				if higherIsBetterExtras[key] {
+					// Direction-aware: for a hit-rate extra the failure
+					// mode is the ratio falling, so the sign flips.
+					judged = -judged
+				}
 				switch {
-				case ev.Delta > th.ExtraDelta:
+				case judged > th.ExtraDelta:
 					ev.Status = StatusRegression
 					extraReg = true
-				case ev.Delta < -th.ExtraDelta:
+				case judged < -th.ExtraDelta:
 					ev.Status = StatusImprovement
 					extraImp = true
 				default:

@@ -359,3 +359,52 @@ func TestCompareExtraZeroBaselineStaysFinite(t *testing.T) {
 		t.Fatalf("comparison does not marshal: %v", err)
 	}
 }
+
+func TestCompareDirectionAwareRatioExtra(t *testing.T) {
+	// shuffle_local_fetch_ratio is higher-is-better: a drop past the
+	// threshold fails the gate, growth is an improvement, and a
+	// baseline recorded before the ratio existed is skipped entirely
+	// (the same rule that protects pre-alloc-gate baselines).
+	base := reportWithExtras(t, map[string]Extras{"a": {"shuffle_local_fetch_ratio": 0.99}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"shuffle_local_fetch_ratio": 0.40}})
+	cmp := Compare(base, cur, Thresholds{})
+	if !cmp.Regressed() {
+		t.Fatalf("locality-ratio collapse 0.99->0.40 not flagged:\n%s", cmp.Table())
+	}
+	if ev := cmp.Verdicts[0].Extras[0]; ev.Status != StatusRegression {
+		t.Errorf("ratio drop verdict = %+v, want regression", ev)
+	}
+
+	// The opposite move is an improvement, not a regression.
+	cmp = Compare(cur, base, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("locality-ratio gain regressed:\n%s", cmp.Table())
+	}
+	if ev := cmp.Verdicts[0].Extras[0]; ev.Status != StatusImprovement {
+		t.Errorf("ratio gain verdict = %+v, want improvement", ev)
+	}
+
+	// Small wobble within the threshold is ok.
+	wobble := reportWithExtras(t, map[string]Extras{"a": {"shuffle_local_fetch_ratio": 0.97}})
+	cmp = Compare(base, wobble, Thresholds{})
+	if cmp.Verdicts[0].Extras[0].Status != StatusOK {
+		t.Errorf("2%% ratio wobble judged %s, want ok", cmp.Verdicts[0].Extras[0].Status)
+	}
+}
+
+func TestCompareRatioExtraSkipsPreGateBaseline(t *testing.T) {
+	// A baseline written before shuffle_local_fetch_ratio existed has
+	// no value for the key; the current report's ratio must not be
+	// judged against it, no matter how low it is.
+	base := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 100}})
+	cur := reportWithExtras(t, map[string]Extras{"a": {"shuffle_records_moved": 100, "shuffle_local_fetch_ratio": 0.05}})
+	cmp := Compare(base, cur, Thresholds{})
+	if cmp.Regressed() {
+		t.Fatalf("pre-gate baseline tripped the ratio gate:\n%s", cmp.Table())
+	}
+	for _, ev := range cmp.Verdicts[0].Extras {
+		if ev.Key == "shuffle_local_fetch_ratio" {
+			t.Fatalf("ratio judged against a baseline that lacks it: %+v", ev)
+		}
+	}
+}

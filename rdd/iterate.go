@@ -1,0 +1,40 @@
+package rdd
+
+// IterateKeyed runs a keyed superstep loop with partition-stable
+// placement: the working set is hash-partitioned into parts partitions
+// and cached, then each superstep's result is re-partitioned with the
+// same partitioner and cached before the previous iterate is dropped.
+// Because PartitionBy into an already-matching hash partitioning is a
+// no-op (see its short-circuit), a step built from key-preserving
+// operations (MapValues, Filter, ReduceByKey/GroupByKey into the same
+// parts) keeps every key in the same reduce partition across
+// supersteps — and, under the shuffle-locality policy, on the same
+// executor, so superstep shuffles fetch co-located map output through
+// the zero-copy path instead of crossing executors. This is the
+// iterative pattern of pagerank- and logreg-style jobs (the paper's
+// memory-resident workloads).
+//
+// step receives the iteration index and the current iterate and
+// returns the next; it must not retain RDDs across calls — each
+// iterate is uncached once its successor is materialized. The final
+// iterate is returned still cached; the caller owns its Uncache.
+func IterateKeyed[K comparable, V any](r *RDD[Pair[K, V]], parts, steps int,
+	step func(i int, cur *RDD[Pair[K, V]]) *RDD[Pair[K, V]]) (*RDD[Pair[K, V]], error) {
+	cur := PartitionBy(r, parts).Cache()
+	if _, err := cur.Count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < steps; i++ {
+		next := PartitionBy(step(i, cur), parts).Cache()
+		// Materialize the successor while the current iterate is still
+		// resident — the step reads it — then drop the old one.
+		if _, err := next.Count(); err != nil {
+			return nil, err
+		}
+		if next.n != cur.n {
+			cur.Uncache()
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"hash/maphash"
 	"slices"
+	"sync"
 
 	"hpcmr/engine"
 )
@@ -144,6 +145,39 @@ func seedingWriter[K comparable, V, C any](c *Context, parts int,
 	}
 }
 
+// shufflePrefs builds the preferred-location function of a shuffled
+// node: for each reduce partition, the executors owning the most map
+// output across the node's dependencies, from
+// Runtime.ReducePreferences. Resolved lazily on first use and cached —
+// reduce tasks are built only after their dependencies materialize, so
+// the engine shuffle IDs are known by then. Dead owners are already
+// excluded by the scorer; preferences are hints, never requirements,
+// so a stale cache after a later executor loss degrades to remote
+// placement rather than wedging a stage.
+func shufflePrefs(c *Context, deps []*shuffleDep, parts int) func(int) []int {
+	var once sync.Once
+	var prefs [][]int
+	return func(part int) []int {
+		once.Do(func() {
+			ids := make([]int, 0, len(deps))
+			for _, d := range deps {
+				d.mu.Lock()
+				if d.materialized {
+					ids = append(ids, d.engineID)
+				}
+				d.mu.Unlock()
+			}
+			if len(ids) > 0 {
+				prefs = c.rt.ReducePreferences(ids, parts)
+			}
+		})
+		if part < len(prefs) {
+			return prefs[part]
+		}
+		return nil
+	}
+}
+
 // defaultParts resolves a partition-count argument.
 func defaultParts(r *node, parts int) int {
 	if parts <= 0 {
@@ -192,7 +226,8 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K,
 			}
 			sink(out)
 			return nil
-		}, nil)
+		}, shufflePrefs(c, []*shuffleDep{dep}, parts))
+	n.hashParts = parts
 	return &RDD[Pair[K, []V]]{n: n}
 }
 
@@ -240,7 +275,8 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]], parts int,
 			}
 			sink(out)
 			return nil
-		}, nil)
+		}, shufflePrefs(c, []*shuffleDep{dep}, parts))
+	n.hashParts = parts
 	return &RDD[Pair[K, C]]{n: n}
 }
 
@@ -256,6 +292,13 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], f func(V, V) V, parts 
 func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K, V]] {
 	c := r.n.ctx
 	parts = defaultParts(r.n, parts)
+	if r.n.hashParts == parts {
+		// Already hash-partitioned into exactly these buckets under this
+		// context's seed: re-shuffling would move every record back to
+		// the partition it is in. Skip the shuffle entirely — the
+		// superstep boundary of an iterative job becomes a no-op here.
+		return r
+	}
 	dep := &shuffleDep{parent: r.n, reduceParts: parts, write: hashWriter[K, V](c, parts)}
 	n := newNode(c, parts, nil, []*shuffleDep{dep},
 		func(part int, tc *engine.TaskContext, sink func(any)) error {
@@ -270,7 +313,8 @@ func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], parts int) *RDD[Pair[K
 				}
 			}
 			return nil
-		}, nil)
+		}, shufflePrefs(c, []*shuffleDep{dep}, parts))
+	n.hashParts = parts
 	return &RDD[Pair[K, V]]{n: n}
 }
 
@@ -329,7 +373,8 @@ func CoGroup[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], par
 			}
 			sink(out)
 			return nil
-		}, nil)
+		}, shufflePrefs(c, []*shuffleDep{depA, depB}, parts))
+	n.hashParts = parts
 	return &RDD[Pair[K, CoGrouped[V, W]]]{n: n}
 }
 
@@ -368,9 +413,27 @@ func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
 	return Map(r, func(p Pair[K, V]) V { return p.Value })
 }
 
-// MapValues transforms values, keeping keys.
+// MapValues transforms values, keeping keys — and, unlike Map, keeping
+// hash partitioning: keys don't move, so a downstream PartitionBy into
+// the same partition count stays a no-op.
 func MapValues[K comparable, V, U any](r *RDD[Pair[K, V]], f func(V) U) *RDD[Pair[K, U]] {
-	return Map(r, func(p Pair[K, V]) Pair[K, U] { return Pair[K, U]{Key: p.Key, Value: f(p.Value)} })
+	p := r.n
+	n := newNode(p.ctx, p.parts, []*node{p}, nil,
+		func(part int, tc *engine.TaskContext, sink func(any)) error {
+			return p.iterate(part, tc, func(ch any) {
+				in := asChunk[Pair[K, V]](ch)
+				if len(in) == 0 {
+					return
+				}
+				out := make([]Pair[K, U], len(in))
+				for i, kv := range in {
+					out[i] = Pair[K, U]{Key: kv.Key, Value: f(kv.Value)}
+				}
+				sink(out)
+			})
+		}, p.preferred)
+	n.hashParts = p.hashParts
+	return &RDD[Pair[K, U]]{n: n}
 }
 
 // SortByKey globally sorts a pair RDD by key using range partitioning
@@ -435,6 +498,7 @@ func SortByKey[K cmp.Ordered, V any](r *RDD[Pair[K, V]], parts int, ascending bo
 			})
 			sink(all)
 			return nil
-		}, nil)
+		}, shufflePrefs(c, []*shuffleDep{dep}, parts))
+	// Range-partitioned, not hash-partitioned: hashParts stays zero.
 	return &RDD[Pair[K, V]]{n: n}, nil
 }

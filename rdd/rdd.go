@@ -112,6 +112,14 @@ type node struct {
 	compute func(part int, tc *engine.TaskContext, sink func(chunk any)) error
 	// preferred lists executor IDs holding partition part (may be nil).
 	preferred func(part int) []int
+	// hashParts, when nonzero, records that partition p holds exactly
+	// the keys hashing to bucket p under the context seed's hash
+	// partitioner with hashParts buckets. Set by the hash shuffles
+	// (GroupByKey, CombineByKey, PartitionBy, CoGroup) and propagated
+	// through key-preserving narrow transformations; PartitionBy into
+	// the same partition count short-circuits to a no-op — the
+	// partition-stable affinity that keeps iterative jobs shuffle-local.
+	hashParts int
 
 	cacheMu   sync.Mutex
 	cached    bool
@@ -456,6 +464,9 @@ func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 				}
 			})
 		}, p.preferred)
+	// Filtering keeps keys and partition membership: hash partitioning
+	// survives.
+	n.hashParts = p.hashParts
 	return &RDD[T]{n: n}
 }
 

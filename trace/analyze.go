@@ -58,6 +58,15 @@ type Analysis struct {
 	// FetchBytes and FetchCount total the shuffle fetches.
 	FetchBytes float64
 	FetchCount int
+	// LocalFetchBytes / RemoteFetchBytes split the fetch volume by
+	// path, from spans the adapter tagged "local" (executor's own
+	// store, the zero-copy hand-off) or "remote" (network shuffle
+	// service). Untagged spans (e.g. simulator fetches) count in
+	// neither.
+	LocalFetchBytes, RemoteFetchBytes float64
+	// LocalFetchRatio is LocalFetchBytes over the tagged total — the
+	// locality placement's headline number. Zero when no span is tagged.
+	LocalFetchRatio float64
 	// Failures counts task spans marked failed.
 	Failures int
 	// Sched counts decision-audit events by name ("elb:pause", ...).
@@ -135,6 +144,12 @@ func Analyze(events []Event, stragglerMult float64) *Analysis {
 			fetchDurs = append(fetchDurs, e.Dur)
 			a.FetchBytes += e.Bytes
 			a.FetchCount++
+			switch e.Detail {
+			case "local":
+				a.LocalFetchBytes += e.Bytes
+			case "remote":
+				a.RemoteFetchBytes += e.Bytes
+			}
 		case CatSched:
 			a.Sched[e.Name]++
 		}
@@ -166,6 +181,10 @@ func Analyze(events []Event, stragglerMult float64) *Analysis {
 	}
 	if mean := metrics.MeanOf(a.PerNodeBytes); mean > 0 {
 		a.SkewRatio = metrics.Summarize(a.PerNodeBytes).Max / mean
+	}
+
+	if tagged := a.LocalFetchBytes + a.RemoteFetchBytes; tagged > 0 {
+		a.LocalFetchRatio = a.LocalFetchBytes / tagged
 	}
 
 	a.TaskDur = metrics.Summarize(taskDurs)
@@ -222,6 +241,10 @@ func (a *Analysis) WriteSummary(w io.Writer) {
 		if s := metrics.Summarize(a.PerNodeFetch); s.Max > 0 {
 			fmt.Fprintf(w, "fetch time per node: min=%.4fs mean=%.4fs max=%.4fs\n",
 				s.Min, s.Mean, s.Max)
+		}
+		if a.LocalFetchBytes+a.RemoteFetchBytes > 0 {
+			fmt.Fprintf(w, "shuffle locality: local=%.4g remote=%.4g bytes, local ratio=%.4f\n",
+				a.LocalFetchBytes, a.RemoteFetchBytes, a.LocalFetchRatio)
 		}
 	}
 	if len(a.Sched) > 0 {

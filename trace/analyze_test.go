@@ -124,3 +124,40 @@ func TestAnalyzeEmptyAndFallbacks(t *testing.T) {
 		t.Fatalf("fallback skew = %v", a.SkewRatio)
 	}
 }
+
+// TestAnalyzeLocalFetchSplit: "local"/"remote"-tagged fetch spans split
+// the shuffle volume and yield the local ratio; untagged spans (the
+// simulator's) count in the totals but not the split.
+func TestAnalyzeLocalFetchSplit(t *testing.T) {
+	a := Analyze([]Event{
+		{TS: 0, Dur: 1, Kind: Span, Cat: CatFetch, Node: 0, Bytes: 900, Detail: "local"},
+		{TS: 1, Dur: 1, Kind: Span, Cat: CatFetch, Node: 1, Bytes: 300, Detail: "local"},
+		{TS: 2, Dur: 1, Kind: Span, Cat: CatFetch, Node: 1, Bytes: 400, Detail: "remote"},
+		{TS: 3, Dur: 1, Kind: Span, Cat: CatFetch, Node: 0, Bytes: 50}, // untagged
+	}, 0)
+	if a.LocalFetchBytes != 1200 || a.RemoteFetchBytes != 400 {
+		t.Fatalf("split = %v local / %v remote, want 1200/400", a.LocalFetchBytes, a.RemoteFetchBytes)
+	}
+	if math.Abs(a.LocalFetchRatio-0.75) > 1e-12 {
+		t.Fatalf("local ratio = %v, want 0.75", a.LocalFetchRatio)
+	}
+	if a.FetchBytes != 1650 {
+		t.Fatalf("fetch bytes = %v, want 1650", a.FetchBytes)
+	}
+	var buf bytes.Buffer
+	a.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "shuffle locality: local=1200 remote=400 bytes, local ratio=0.7500") {
+		t.Fatalf("summary missing locality line:\n%s", buf.String())
+	}
+
+	// No tagged spans: no ratio, no summary line.
+	a = Analyze([]Event{{TS: 0, Dur: 1, Kind: Span, Cat: CatFetch, Node: 0, Bytes: 50}}, 0)
+	if a.LocalFetchRatio != 0 {
+		t.Fatalf("untagged-only ratio = %v, want 0", a.LocalFetchRatio)
+	}
+	buf.Reset()
+	a.WriteSummary(&buf)
+	if strings.Contains(buf.String(), "shuffle locality") {
+		t.Fatalf("summary has locality line with no tagged spans:\n%s", buf.String())
+	}
+}
